@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation study (extension beyond the paper's figures): DAP's
+ * techniques enabled incrementally — FWB only, +WB, +IFRM, +SFRM —
+ * plus a credit-cap ablation, on the twelve bandwidth-sensitive
+ * rate-8 mixes. This quantifies how much of DAP's gain each technique
+ * carries and that the 8-bit saturating credits are not a limiter.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+namespace
+{
+
+SystemConfig
+withTechniques(bool fwb, bool wb, bool ifrm, bool sfrm)
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.dap.enableFwb = fwb;
+    cfg.dap.enableWb = wb;
+    cfg.dap.enableIfrm = ifrm;
+    cfg.dap.enableSfrm = sfrm;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation", "DAP techniques enabled incrementally");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig base = presets::sectoredSystem8();
+
+    const std::vector<std::pair<const char *, SystemConfig>> steps{
+        {"FWB", withTechniques(true, false, false, false)},
+        {"+WB", withTechniques(true, true, false, false)},
+        {"+IFRM", withTechniques(true, true, true, false)},
+        {"+SFRM(all)", withTechniques(true, true, true, true)},
+    };
+
+    SpeedupTable table("     FWB        +WB      +IFRM  +SFRM(all)");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult rb =
+            runPolicy(base, PolicyKind::Baseline, mix, instr);
+        std::vector<double> row;
+        for (const auto &[name, cfg] : steps)
+            row.push_back(
+                speedup(runPolicy(cfg, PolicyKind::Dap, mix, instr),
+                        rb));
+        table.row(w.name, row);
+    }
+    table.finish("GMEAN");
+
+    std::printf("\n--- credit-counter width ablation (gcc.s04) ---\n");
+    const Mix mix = rateMix(workloadByName("gcc.s04"), 8);
+    const RunResult rb =
+        runPolicy(base, PolicyKind::Baseline, mix, instr);
+    for (std::int64_t max : {15, 63, 255, 1 << 20}) {
+        SystemConfig cfg = presets::sectoredSystem8();
+        cfg.dap.creditMax = max;
+        const RunResult rd = runPolicy(cfg, PolicyKind::Dap, mix, instr);
+        std::printf("creditMax=%-8lld speedup %.3f\n",
+                    static_cast<long long>(max), speedup(rd, rb));
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper:
+ * it runs the required simulations and prints the same rows/series
+ * the paper reports. Absolute values are not expected to match the
+ * authors' testbed; the *shape* (who wins, by roughly what factor,
+ * where crossovers fall) is the reproduction target (see DESIGN.md
+ * and EXPERIMENTS.md).
+ */
+
+#ifndef DAPSIM_BENCH_BENCH_UTIL_HH
+#define DAPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace dapsim::bench
+{
+
+/** Instructions per core for bench runs (reduced-scale methodology). */
+inline std::uint64_t
+benchInstructions()
+{
+    if (const char *env = std::getenv("DAPSIM_BENCH_INSTR"))
+        return std::strtoull(env, nullptr, 10);
+    return 120'000;
+}
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string &title, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Run one mix under @p cfg with the given policy. */
+inline RunResult
+runPolicy(SystemConfig cfg, PolicyKind policy, const Mix &mix,
+          std::uint64_t instr, std::uint64_t salt = 0)
+{
+    cfg.policy = policy;
+    return runMix(cfg, mix, instr, salt);
+}
+
+/** Throughput-normalized speedup (rate-mode weighted speedup). */
+inline double
+speedup(const RunResult &test, const RunResult &base)
+{
+    return test.throughput() / base.throughput();
+}
+
+/** Collector printing per-workload rows plus a geometric mean. */
+class SpeedupTable
+{
+  public:
+    explicit SpeedupTable(std::string header) : header_(std::move(header))
+    {
+        std::printf("%-18s %s\n", "workload", header_.c_str());
+    }
+
+    void
+    row(const std::string &name, const std::vector<double> &values)
+    {
+        if (columns_.empty())
+            columns_.resize(values.size());
+        std::printf("%-18s", name.c_str());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::printf(" %10.3f", values[i]);
+            columns_[i].push_back(values[i]);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    void
+    finish(const char *label = "GMEAN")
+    {
+        std::printf("%-18s", label);
+        for (auto &col : columns_) {
+            // Delta columns (hit-rate changes) can be non-positive:
+            // fall back to the arithmetic mean for those.
+            bool all_positive = true;
+            for (double v : col)
+                all_positive &= v > 0.0;
+            std::printf(" %10.3f",
+                        all_positive ? geomean(col) : mean(col));
+        }
+        std::printf("\n");
+    }
+
+    std::vector<double> column(std::size_t i) const { return columns_[i]; }
+
+  private:
+    std::string header_;
+    std::vector<std::vector<double>> columns_;
+};
+
+} // namespace dapsim::bench
+
+#endif // DAPSIM_BENCH_BENCH_UTIL_HH

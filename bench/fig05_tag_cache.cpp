@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 5: the optimized baseline's SRAM tag cache.
+ *
+ * Top panel: weighted speedup of adding the tag cache to the sectored
+ * DRAM cache baseline (twelve bandwidth-sensitive rate-8 mixes).
+ * Bottom panel: tag-cache miss ratio. Paper shape: most workloads
+ * benefit (16% average); astar.BigLakes and omnetpp show high tag
+ * cache miss rates from poor sector utilization.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 5", "Effect of the 32K-entry (scaled) SRAM tag cache");
+    const std::uint64_t instr = benchInstructions();
+
+    const SystemConfig with_tc = presets::sectoredSystem8();
+    const SystemConfig without_tc = presets::sectoredSystemNoTagCache8();
+
+    SpeedupTable table("   speedup  tc-missratio");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult off =
+            runPolicy(without_tc, PolicyKind::Baseline, mix, instr);
+        const RunResult on =
+            runPolicy(with_tc, PolicyKind::Baseline, mix, instr);
+        table.row(w.name, {speedup(on, off), on.tagCacheMissRatio});
+    }
+    table.finish("GMEAN");
+    return 0;
+}

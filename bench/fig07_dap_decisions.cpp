@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7: contribution of FWB / WB / IFRM / SFRM to all DAP
+ * decisions per workload (sectored DRAM cache, rate-8).
+ *
+ * Paper shape: FWB and WB dominate across the board (23% and 40% of
+ * decisions on average); IFRM and SFRM contribute for several
+ * workloads, with omnetpp dominated by SFRM due to its high tag-cache
+ * miss rate.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 7", "DAP decision mix: FWB / WB / IFRM / SFRM");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem8();
+
+    SpeedupTable table("       FWB         WB       IFRM       SFRM");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const RunResult dap =
+            runPolicy(cfg, PolicyKind::Dap, rateMix(w, 8), instr);
+        table.row(w.name,
+                  {dap.fwbFraction(), dap.wbFraction(),
+                   dap.ifrmFraction(), dap.sfrmFraction()});
+    }
+    table.finish("MEAN");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8: how close DAP comes to the optimal access partition.
+ *
+ * Top panel: fraction of all CAS operations served by main memory for
+ * baseline vs DAP (the optimum is B_MM/(B_MM + B_MS$) = 0.27 for
+ * 38.4 vs 102.4 GB/s). Bottom panel: MS$ hit ratio for baseline,
+ * FWB+WB only, and full DAP — the hit rate drops as DAP trades hits
+ * for bandwidth balance.
+ */
+
+#include "bench_util.hh"
+#include "dap/bandwidth_model.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 8",
+           "Main-memory CAS fraction and MS$ hit ratio under DAP");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem8();
+
+    SystemConfig fwbwb = cfg;
+    fwbwb.dap.enableIfrm = false;
+    fwbwb.dap.enableSfrm = false;
+
+    std::printf("optimal MM CAS fraction: %.2f\n\n",
+                bwmodel::optimalMemoryFraction(102.4, 38.4));
+    SpeedupTable table(
+        "  casB      casDAP     hitB   hitFWB+WB   hitDAP");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult base =
+            runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+        const RunResult part =
+            runPolicy(fwbwb, PolicyKind::Dap, mix, instr);
+        const RunResult dap =
+            runPolicy(cfg, PolicyKind::Dap, mix, instr);
+        table.row(w.name,
+                  {base.mmCasFraction, dap.mmCasFraction,
+                   base.msHitRatio, part.msHitRatio, dap.msHitRatio});
+    }
+    table.finish("MEAN");
+    return 0;
+}

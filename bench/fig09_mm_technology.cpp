@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 9: DAP's sensitivity to main-memory latency and bandwidth.
+ *
+ * Four main-memory models under the default MS$: DDR4-2400 (default),
+ * DDR4-2400 without the board/IO delay, LPDDR4-2400 (same bandwidth,
+ * much higher latency), and DDR4-3200 (higher bandwidth). Paper
+ * shape: DAP's benefit shrinks as memory latency grows (LPDDR4) and
+ * grows with memory bandwidth (DDR4-3200, which shifts the optimal
+ * partition toward memory).
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 9", "DAP speedup vs main-memory technology");
+    const std::uint64_t instr = benchInstructions();
+
+    const std::vector<std::pair<const char *, DramConfig>> memories{
+        {"ddr4-2400", dapsim::presets::ddr4_2400()},
+        {"ddr4-2400-noio", dapsim::presets::ddr4_2400_no_io()},
+        {"lpddr4-2400", dapsim::presets::lpddr4_2400()},
+        {"ddr4-3200", dapsim::presets::ddr4_3200()},
+    };
+
+    SpeedupTable table(
+        "   ddr4-2400  no-io      lpddr4     ddr4-3200");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        std::vector<double> row;
+        for (const auto &[name, mem] : memories) {
+            SystemConfig cfg = presets::sectoredSystem8();
+            cfg.mainMemory = mem;
+            const RunResult rb =
+                runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+            const RunResult rd =
+                runPolicy(cfg, PolicyKind::Dap, mix, instr);
+            row.push_back(speedup(rd, rb));
+        }
+        table.row(w.name, row);
+    }
+    table.finish("GMEAN");
+    return 0;
+}

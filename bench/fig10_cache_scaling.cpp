@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10: DAP vs memory-side cache capacity and bandwidth.
+ *
+ * Top panel: capacities 2/4/8 GB (scaled 32/64/128 MB) at 102.4 GB/s.
+ * Bottom panel: bandwidths 102.4/128/204.8 GB/s at 4 GB (scaled 64 MB).
+ * Paper shape: DAP's benefit grows with capacity (bigger caches absorb
+ * more accesses and drift further from the optimal partition) and
+ * shrinks with cache bandwidth (the optimum moves toward the cache).
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 10", "DAP speedup vs MS$ capacity and bandwidth");
+    const std::uint64_t instr = benchInstructions();
+
+    std::printf("--- capacity sweep (bandwidth 102.4 GB/s) ---\n");
+    {
+        SpeedupTable table("      32MB       64MB      128MB");
+        for (const auto &w : bandwidthSensitiveWorkloads()) {
+            const Mix mix = rateMix(w, 8);
+            std::vector<double> row;
+            for (std::uint64_t mb : {32u, 64u, 128u}) {
+                SystemConfig cfg = presets::sectoredSystem8();
+                cfg.sectored.capacityBytes = mb * kMiB;
+                const RunResult rb =
+                    runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+                const RunResult rd =
+                    runPolicy(cfg, PolicyKind::Dap, mix, instr);
+                row.push_back(speedup(rd, rb));
+            }
+            table.row(w.name, row);
+        }
+        table.finish("GMEAN");
+    }
+
+    std::printf("\n--- bandwidth sweep (capacity 64 MB scaled) ---\n");
+    {
+        SpeedupTable table("     102.4      128.0      204.8");
+        for (const auto &w : bandwidthSensitiveWorkloads()) {
+            const Mix mix = rateMix(w, 8);
+            std::vector<double> row;
+            for (int point = 0; point < 3; ++point) {
+                SystemConfig cfg = presets::sectoredSystem8();
+                cfg.sectored.array =
+                    point == 0   ? dapsim::presets::hbm_102()
+                    : point == 1 ? dapsim::presets::hbm_128()
+                                 : dapsim::presets::hbm_205();
+                const RunResult rb =
+                    runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+                const RunResult rd =
+                    runPolicy(cfg, PolicyKind::Dap, mix, instr);
+                row.push_back(speedup(rd, rb));
+            }
+            table.row(w.name, row);
+        }
+        table.finish("GMEAN");
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 11: DAP vs the prior access-partitioning proposals.
+ *
+ * SBD (self-balancing dispatch, with forced page cleaning), SBD-WT
+ * (write-through only), BATMAN (set disabling toward a target hit
+ * rate) and DAP, normalized to the optimized baseline on the sectored
+ * DRAM cache. Paper shape: SBD loses (forced cleaning congestion),
+ * SBD-WT gains a little, BATMAN is near baseline, DAP wins clearly.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 11", "SBD / SBD-WT / BATMAN / DAP vs baseline");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem8();
+
+    SpeedupTable table("      SBD     SBD-WT     BATMAN        DAP");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult base =
+            runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+        std::vector<double> row;
+        for (PolicyKind pol : {PolicyKind::Sbd, PolicyKind::SbdWt,
+                               PolicyKind::Batman, PolicyKind::Dap})
+            row.push_back(speedup(
+                runPolicy(cfg, pol, mix, instr), base));
+        table.row(w.name, row);
+    }
+    table.finish("GMEAN");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 13: DAP on a sixteen-core system.
+ *
+ * 16 cores, 16 MB (scaled 2 MB) L3, 8 GB (scaled 128 MB) MS$ at
+ * 204.8 GB/s, dual-channel DDR4-3200 (51.2 GB/s), twelve
+ * bandwidth-sensitive rate-16 mixes. Paper shape: gains comparable to
+ * the eight-core system (14.6% average).
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 13", "DAP on the sixteen-core configuration");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem16();
+
+    SpeedupTable table("   speedup");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 16);
+        const RunResult rb =
+            runPolicy(cfg, PolicyKind::Baseline, mix, instr);
+        const RunResult rd = runPolicy(cfg, PolicyKind::Dap, mix, instr);
+        table.row(w.name, {speedup(rd, rb)});
+    }
+    table.finish("GMEAN");
+    return 0;
+}

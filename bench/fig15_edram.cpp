@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 15: DAP on the sectored eDRAM cache (three bandwidth
+ * sources).
+ *
+ * Against the 256 MB (scaled 4 MB) baseline: DAP at 256 MB, the plain
+ * 512 MB (scaled 8 MB) baseline, and DAP at 512 MB, plus the change
+ * in hit ratio. Paper shape: DAP@256 gains ~7% while *lowering* the
+ * hit rate ~9.5 points; the 512 MB baseline raises the hit rate but
+ * gains only ~2%; DAP@512 delivers ~11%.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+int
+main()
+{
+    banner("Figure 15", "eDRAM cache: DAP vs capacity doubling");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig small = presets::edramSystem8(4);
+    const SystemConfig big = presets::edramSystem8(8);
+
+    SpeedupTable table(
+        "  dap256     base512     dap512   dHit256  dHit512d");
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult base256 =
+            runPolicy(small, PolicyKind::Baseline, mix, instr);
+        const RunResult dap256 =
+            runPolicy(small, PolicyKind::Dap, mix, instr);
+        const RunResult base512 =
+            runPolicy(big, PolicyKind::Baseline, mix, instr);
+        const RunResult dap512 =
+            runPolicy(big, PolicyKind::Dap, mix, instr);
+        table.row(w.name,
+                  {speedup(dap256, base256), speedup(base512, base256),
+                   speedup(dap512, base256),
+                   dap256.msHitRatio - base256.msHitRatio,
+                   dap512.msHitRatio - base256.msHitRatio});
+    }
+    table.finish("GMEAN");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): the cost of the hot
+ * simulator paths — event queue churn, DRAM channel scheduling, DAP
+ * solver math, generators, and directory lookups. These guard the
+ * simulator's own performance (a single bench run sweeps hundreds of
+ * simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/assoc_cache.hh"
+#include "common/event_queue.hh"
+#include "dap/dap_solver.hh"
+#include "dram/dram_system.hh"
+#include "dram/presets.hh"
+#include "trace/generators.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int n = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 997),
+                        [&n] { ++n; });
+        eq.run();
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_DramRandomAccesses(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        DramSystem mem(eq, presets::hbm_102());
+        std::uint64_t x = 9;
+        for (int i = 0; i < 2000; ++i) {
+            x = x * 6364136223846793005ULL + 1;
+            mem.access((x >> 16) % (1ULL << 28), (x & 1) != 0);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(mem.casOps());
+    }
+}
+BENCHMARK(BM_DramRandomAccesses);
+
+void
+BM_DapSolverSectored(benchmark::State &state)
+{
+    const FixedRatio k = FixedRatio::quantize(8.0 / 3.0, 2);
+    dap::SectoredInput in;
+    in.aMs = 40;
+    in.aMm = 2;
+    in.readMisses = 5;
+    in.writes = 20;
+    in.cleanHits = 10;
+    in.bMsW = 19;
+    in.bMmW = 7;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dap::solveSectored(in, k));
+    }
+}
+BENCHMARK(BM_DapSolverSectored);
+
+void
+BM_SyntheticGenerator(benchmark::State &state)
+{
+    SyntheticParams p;
+    p.footprintBytes = 8 * kMiB;
+    SyntheticGenerator g(p);
+    TraceRequest r;
+    for (auto _ : state) {
+        g.next(r);
+        benchmark::DoNotOptimize(r.addr);
+    }
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+void
+BM_AssocCacheLookup(benchmark::State &state)
+{
+    AssocCache<int> c(4096, 4, ReplPolicy::NRU);
+    for (std::uint64_t t = 0; t < 8192; ++t)
+        if (c.find(t % 4096, t) == nullptr)
+            c.insert(t % 4096, t, 1);
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.find(t % 4096, t));
+        ++t;
+    }
+}
+BENCHMARK(BM_AssocCacheLookup);
+
+} // namespace
+} // namespace dapsim
+
+BENCHMARK_MAIN();

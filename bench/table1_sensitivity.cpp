@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table I: DAP's sensitivity to the window size W and the assumed
+ * bandwidth efficiency E (geomean over the twelve bandwidth-sensitive
+ * rate-8 mixes).
+ *
+ * Paper shape: W = 64 / E = 0.75 is the sweet spot; E = 1.0 is the
+ * worst efficiency point because assuming full bandwidth makes DAP
+ * partition too little.
+ */
+
+#include "bench_util.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+namespace
+{
+
+double
+geomeanSpeedup(const SystemConfig &dap_cfg, std::uint64_t instr)
+{
+    const SystemConfig base = presets::sectoredSystem8();
+    std::vector<double> v;
+    for (const auto &w : bandwidthSensitiveWorkloads()) {
+        const Mix mix = rateMix(w, 8);
+        const RunResult rb =
+            runPolicy(base, PolicyKind::Baseline, mix, instr);
+        const RunResult rd = runPolicy(dap_cfg, PolicyKind::Dap, mix,
+                                       instr);
+        v.push_back(speedup(rd, rb));
+    }
+    return geomean(v);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table I",
+           "DAP speedup sensitivity to window size W and efficiency E");
+    const std::uint64_t instr = benchInstructions();
+
+    std::printf("%-24s %10s\n", "configuration", "speedup");
+    for (Cycle w : {32u, 64u, 128u}) {
+        SystemConfig cfg = presets::sectoredSystem8();
+        cfg.windowCycles = w;
+        std::printf("W=%-4llu E=0.75           %10.3f\n",
+                    static_cast<unsigned long long>(w),
+                    geomeanSpeedup(cfg, instr));
+        std::fflush(stdout);
+    }
+    for (double e : {0.50, 0.75, 1.00}) {
+        SystemConfig cfg = presets::sectoredSystem8();
+        cfg.dap.efficiency = e;
+        std::printf("W=64   E=%-4.2f           %10.3f\n", e,
+                    geomeanSpeedup(cfg, instr));
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: define a custom synthetic workload via the public API and
+ * evaluate the three memory-side cache architectures under it.
+ *
+ * Demonstrates the SyntheticParams knobs (footprint, hot region,
+ * streaming fraction, spatial run length, write mix, MPKI) and how to
+ * assemble a System directly rather than through the mix runner.
+ */
+
+#include <cstdio>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+using namespace dapsim;
+
+namespace
+{
+
+/** A pointer-chasing database-like workload: large footprint, small
+ *  hot index, low spatial locality, write-heavy. */
+WorkloadProfile
+makeCustomWorkload()
+{
+    WorkloadProfile w;
+    w.name = "custom-db";
+    w.bandwidthSensitive = true;
+    w.params.footprintBytes = 12 * kMiB;
+    w.params.hotFraction = 0.2;      // the "index"
+    w.params.hotProbability = 0.8;
+    w.params.streamFraction = 0.1;   // occasional scans
+    w.params.runLength = 2.0;        // poor sector utilization
+    w.params.writeFraction = 0.35;
+    w.params.mpki = 30.0;
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadProfile w = makeCustomWorkload();
+    const Mix mix = rateMix(w, 8);
+    const std::uint64_t instr = 100'000;
+
+    std::printf("custom workload '%s': %llu MB footprint, "
+                "%.0f%% writes, %.0f MPKI\n\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(
+                    w.params.footprintBytes / kMiB),
+                w.params.writeFraction * 100, w.params.mpki);
+
+    std::printf("%-28s %10s %10s %10s\n", "architecture", "base-tput",
+                "dap-tput", "speedup");
+    const std::vector<std::pair<const char *, SystemConfig>> systems{
+        {"sectored DRAM cache (64MB)", presets::sectoredSystem8()},
+        {"Alloy cache (64MB)", presets::alloySystem8()},
+        {"sectored eDRAM (4MB)", presets::edramSystem8(4)},
+    };
+    for (const auto &[label, cfg] : systems) {
+        SystemConfig base = cfg;
+        base.policy = PolicyKind::Baseline;
+        SystemConfig dap = cfg;
+        dap.policy = PolicyKind::Dap;
+        const RunResult rb = runMix(base, mix, instr);
+        const RunResult rd = runMix(dap, mix, instr);
+        std::printf("%-28s %10.3f %10.3f %10.3f\n", label,
+                    rb.throughput(), rd.throughput(),
+                    rd.throughput() / rb.throughput());
+        std::fflush(stdout);
+    }
+    return 0;
+}

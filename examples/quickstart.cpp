@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: build the paper's default eight-core system, run one
+ * bandwidth-sensitive rate-8 mix under the baseline and under DAP, and
+ * print the headline numbers.
+ *
+ * Usage: quickstart [workload-name] [instructions-per-core]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+using namespace dapsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const std::uint64_t instr =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                 : presets::kBenchInstructions;
+
+    const WorkloadProfile &w = workloadByName(name);
+    const Mix mix = rateMix(w, 8);
+
+    SystemConfig base = presets::sectoredSystem8();
+    base.policy = PolicyKind::Baseline;
+    SystemConfig dap = base;
+    dap.policy = PolicyKind::Dap;
+
+    std::printf("dapsim quickstart: %s rate-8, %llu instr/core\n",
+                name.c_str(), static_cast<unsigned long long>(instr));
+
+    const RunResult rb = runMix(base, mix, instr);
+    const RunResult rd = runMix(dap, mix, instr);
+
+    std::printf("\n%-28s %12s %12s\n", "metric", "baseline", "dap");
+    std::printf("%-28s %12.3f %12.3f\n", "throughput (sum IPC)",
+                rb.throughput(), rd.throughput());
+    std::printf("%-28s %12.3f %12.3f\n", "MS$ hit ratio",
+                rb.msHitRatio, rd.msHitRatio);
+    std::printf("%-28s %12.3f %12.3f\n", "MM CAS fraction",
+                rb.mmCasFraction, rd.mmCasFraction);
+    std::printf("%-28s %12.1f %12.1f\n", "L3 read-miss latency (ns)",
+                rb.avgL3ReadMissLatency / 1000.0,
+                rd.avgL3ReadMissLatency / 1000.0);
+    std::printf("%-28s %12.2f %12.2f\n", "L3 MPKI", rb.l3Mpki,
+                rd.l3Mpki);
+    std::printf("%-28s %12.3f %12.3f\n", "tag cache miss ratio",
+                rb.tagCacheMissRatio, rd.tagCacheMissRatio);
+    std::printf("\nDAP speedup: %.3fx\n",
+                rd.throughput() / rb.throughput());
+    std::printf("DAP decisions: FWB %llu, WB %llu, IFRM %llu, SFRM %llu\n",
+                static_cast<unsigned long long>(rd.fwb),
+                static_cast<unsigned long long>(rd.wb),
+                static_cast<unsigned long long>(rd.ifrm),
+                static_cast<unsigned long long>(rd.sfrm));
+    return 0;
+}

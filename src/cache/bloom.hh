@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Counting Bloom filter, used by SBD's Dirty List (Sim et al., and the
+ * paper's Section VI-A.4 description) to identify highly-written pages.
+ */
+
+#ifndef DAPSIM_CACHE_BLOOM_HH
+#define DAPSIM_CACHE_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+/** Counting Bloom filter with k independent hash functions. */
+class CountingBloom
+{
+  public:
+    CountingBloom(std::size_t buckets = 4096, unsigned hashes = 3,
+                  std::uint8_t max_count = 15)
+        : counts_(buckets, 0), hashes_(hashes), max_(max_count)
+    {
+        if (!isPowerOfTwo(buckets))
+            fatal("CountingBloom: buckets must be a power of two");
+    }
+
+    /** Increment all hash positions (saturating). */
+    void
+    insert(std::uint64_t key)
+    {
+        forEachBucket(key, [this](std::size_t i) {
+            if (counts_[i] < max_)
+                ++counts_[i];
+        });
+    }
+
+    /** Decrement all hash positions (floored at zero). */
+    void
+    remove(std::uint64_t key)
+    {
+        forEachBucket(key, [this](std::size_t i) {
+            if (counts_[i] > 0)
+                --counts_[i];
+        });
+    }
+
+    /** Possibly-present test (no false negatives under correct use). */
+    bool
+    mayContain(std::uint64_t key) const
+    {
+        bool all = true;
+        forEachBucket(key, [this, &all](std::size_t i) {
+            if (counts_[i] == 0)
+                all = false;
+        });
+        return all;
+    }
+
+    /** Minimum counter over the key's buckets (frequency estimate). */
+    std::uint8_t
+    estimate(std::uint64_t key) const
+    {
+        std::uint8_t m = max_;
+        forEachBucket(key, [this, &m](std::size_t i) {
+            if (counts_[i] < m)
+                m = counts_[i];
+        });
+        return m;
+    }
+
+    void
+    clear()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+  private:
+    template <typename Fn>
+    void
+    forEachBucket(std::uint64_t key, Fn fn) const
+    {
+        std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+        for (unsigned i = 0; i < hashes_; ++i) {
+            fn(static_cast<std::size_t>(h & (counts_.size() - 1)));
+            h ^= h >> 29;
+            h *= 0xbf58476d1ce4e5b9ULL;
+        }
+    }
+
+    std::vector<std::uint8_t> counts_;
+    unsigned hashes_;
+    std::uint8_t max_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_CACHE_BLOOM_HH

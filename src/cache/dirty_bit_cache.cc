@@ -1,0 +1,69 @@
+#include "cache/dirty_bit_cache.hh"
+
+namespace dapsim
+{
+
+DirtyBitCache::DirtyBitCache(const DirtyBitCacheConfig &cfg)
+    : cfg_(cfg),
+      dir_(cfg.entries / cfg.ways ? cfg.entries / cfg.ways : 1, cfg.ways,
+           ReplPolicy::LRU)
+{
+}
+
+std::uint64_t
+DirtyBitCache::groupOf(std::uint64_t alloy_set) const
+{
+    return alloy_set / cfg_.setsPerEntry;
+}
+
+std::uint64_t
+DirtyBitCache::setIndex(std::uint64_t group) const
+{
+    return group % dir_.numSets();
+}
+
+std::uint64_t
+DirtyBitCache::tagOf(std::uint64_t group) const
+{
+    return group / dir_.numSets();
+}
+
+DirtyBitCache::Probe
+DirtyBitCache::probe(std::uint64_t alloy_set)
+{
+    const std::uint64_t g = groupOf(alloy_set);
+    const std::uint64_t bit =
+        1ULL << (alloy_set % cfg_.setsPerEntry);
+    Probe p;
+    Entry *e = dir_.find(setIndex(g), tagOf(g));
+    if (e != nullptr) {
+        dir_.touch(setIndex(g), tagOf(g));
+        hits.inc();
+        // Unknown bits are conservatively dirty: IFRM must not bypass a
+        // read hit to a line that could be dirty in the Alloy cache.
+        p.hit = (e->knownBits & bit) != 0;
+        p.dirty = (e->dirtyBits & bit) != 0;
+        return p;
+    }
+    misses.inc();
+    dir_.insert(setIndex(g), tagOf(g), Entry{});
+    return p; // miss: caller must treat the set as possibly dirty
+}
+
+void
+DirtyBitCache::update(std::uint64_t alloy_set, bool dirty)
+{
+    const std::uint64_t g = groupOf(alloy_set);
+    const std::uint64_t bit =
+        1ULL << (alloy_set % cfg_.setsPerEntry);
+    Entry *e = dir_.find(setIndex(g), tagOf(g));
+    if (e == nullptr)
+        return;
+    e->knownBits |= bit;
+    if (dirty)
+        e->dirtyBits |= bit;
+    else
+        e->dirtyBits &= ~bit;
+}
+
+} // namespace dapsim

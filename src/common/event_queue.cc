@@ -1,0 +1,50 @@
+#include "common/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling in the past");
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() immediately discards the entry.
+    auto &top = const_cast<Entry &>(heap_.top());
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++executed_;
+    cb();
+    return true;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+}
+
+void
+EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    while (!done() && !heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+}
+
+} // namespace dapsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Global event queue driving all timed simulation in dapsim.
+ *
+ * A single EventQueue instance owns simulated time. Components schedule
+ * closures at absolute ticks; ties are broken by insertion order so that
+ * simulations are fully deterministic.
+ */
+
+#ifndef DAPSIM_COMMON_EVENT_QUEUE_HH
+#define DAPSIM_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+/** Deterministic priority-queue event scheduler. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void scheduleAfter(Tick delta, Callback cb) {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Execute the single earliest event. @return false if queue empty. */
+    bool step();
+
+    /** Run until the queue drains or @p limit ticks is reached. */
+    void run(Tick limit = ~Tick(0));
+
+    /** Run until @p done returns true, the queue drains, or @p limit. */
+    void runUntil(const std::function<bool()> &done, Tick limit = ~Tick(0));
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_COMMON_EVENT_QUEUE_HH

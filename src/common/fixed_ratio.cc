@@ -1,0 +1,25 @@
+#include "common/fixed_ratio.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+FixedRatio
+FixedRatio::quantize(double value, unsigned shift)
+{
+    if (value <= 0.0)
+        fatal("FixedRatio: ratio must be positive");
+    if (shift > 16)
+        fatal("FixedRatio: denominator shift too large for hardware");
+    FixedRatio r;
+    r.shift_ = shift;
+    const double scaled = value * static_cast<double>(1ULL << shift);
+    auto num = static_cast<std::uint64_t>(std::llround(scaled));
+    r.num_ = num == 0 ? 1 : num;
+    return r;
+}
+
+} // namespace dapsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware-friendly rational approximation of the bandwidth ratio K.
+ *
+ * DAP needs K = B_MS$ / B_MM in its window equations. The paper stores K
+ * as a small rational whose denominator is a power of two so that
+ * multiplication is a shift-add (Section IV-A: K = 8/3 is approximated
+ * as 11/4). FixedRatio reproduces exactly that quantization.
+ */
+
+#ifndef DAPSIM_COMMON_FIXED_RATIO_HH
+#define DAPSIM_COMMON_FIXED_RATIO_HH
+
+#include <cstdint>
+
+namespace dapsim
+{
+
+/** Rational p / 2^s with small p, built from an arbitrary real ratio. */
+class FixedRatio
+{
+  public:
+    FixedRatio() = default;
+
+    /**
+     * Quantize @p value to the nearest p/2^shift.
+     * @param value the real ratio to approximate (must be positive)
+     * @param shift log2 of the denominator (paper uses 2, i.e. quarters)
+     */
+    static FixedRatio quantize(double value, unsigned shift = 2);
+
+    /** Exact rational (for testing / display). */
+    std::uint64_t numerator() const { return num_; }
+    std::uint64_t denominator() const { return 1ULL << shift_; }
+
+    /** K * x with round-to-nearest, as the hardware multiplier would. */
+    std::int64_t
+    mul(std::int64_t x) const
+    {
+        const std::int64_t half = 1LL << (shift_ > 0 ? shift_ - 1 : 0);
+        return (x * static_cast<std::int64_t>(num_) +
+                (shift_ > 0 ? half : 0)) >> shift_;
+    }
+
+    /** (K + 1) * x, used by the write-bypass / IFRM closed forms. */
+    std::int64_t
+    mulPlusOne(std::int64_t x) const
+    {
+        const std::int64_t n = static_cast<std::int64_t>(num_) +
+                               (1LL << shift_);
+        const std::int64_t half = 1LL << (shift_ > 0 ? shift_ - 1 : 0);
+        return (x * n + (shift_ > 0 ? half : 0)) >> shift_;
+    }
+
+    /** (2K + 1) * x, used by the eDRAM three-source closed forms. */
+    std::int64_t
+    mulTwoKPlusOne(std::int64_t x) const
+    {
+        const std::int64_t n = 2 * static_cast<std::int64_t>(num_) +
+                               (1LL << shift_);
+        const std::int64_t half = 1LL << (shift_ > 0 ? shift_ - 1 : 0);
+        return (x * n + (shift_ > 0 ? half : 0)) >> shift_;
+    }
+
+    /** Divide @p x by (K + 1): solves (K+1)N = x for N, rounding down. */
+    std::int64_t
+    divByKPlusOne(std::int64_t x) const
+    {
+        const std::int64_t n = static_cast<std::int64_t>(num_) +
+                               (1LL << shift_);
+        return (x << shift_) / n;
+    }
+
+    /** Divide @p x by (2K + 1). */
+    std::int64_t
+    divByTwoKPlusOne(std::int64_t x) const
+    {
+        const std::int64_t n = 2 * static_cast<std::int64_t>(num_) +
+                               (1LL << shift_);
+        return (x << shift_) / n;
+    }
+
+    /** The approximated real value. */
+    double
+    value() const
+    {
+        return static_cast<double>(num_) / static_cast<double>(1ULL << shift_);
+    }
+
+  private:
+    std::uint64_t num_ = 1;
+    unsigned shift_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_COMMON_FIXED_RATIO_HH

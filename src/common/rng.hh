@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic xorshift128+ random number generator.
+ *
+ * Every stochastic component in dapsim (workload generators, samplers,
+ * predictor tables) draws from its own seeded Rng instance so that whole
+ * simulations are reproducible regardless of event interleaving.
+ */
+
+#ifndef DAPSIM_COMMON_RNG_HH
+#define DAPSIM_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace dapsim
+{
+
+/** xorshift128+ PRNG; fast, decent quality, fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding so nearby seeds give unrelated streams.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /**
+     * Geometric gap with mean @p mean (>= 1), capped at @p cap.
+     * Used for instruction gaps between memory accesses.
+     */
+    std::uint64_t
+    gap(double mean, std::uint64_t cap)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        double u = real();
+        if (u > 0.999999)
+            u = 0.999999;
+        const double res = 1.0 + std::log(1.0 - u) / std::log(1.0 - p);
+        const auto r = static_cast<std::uint64_t>(res < 1.0 ? 1.0 : res);
+        return r > cap ? cap : r;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_COMMON_RNG_HH

@@ -1,0 +1,41 @@
+#include "common/stats.hh"
+
+namespace dapsim
+{
+
+void
+StatGroup::addCounter(const std::string &n, const Counter *c)
+{
+    counters_[n] = c;
+}
+
+void
+StatGroup::addAverage(const std::string &n, const Average *a)
+{
+    averages_[n] = a;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[n, c] : counters_)
+        os << name_ << '.' << n << ' ' << c->value() << '\n';
+    for (const auto &[n, a] : averages_)
+        os << name_ << '.' << n << ' ' << a->mean() << '\n';
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &n) const
+{
+    auto it = counters_.find(n);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+StatGroup::averageValue(const std::string &n) const
+{
+    auto it = averages_.find(n);
+    return it == averages_.end() ? 0.0 : it->second->mean();
+}
+
+} // namespace dapsim

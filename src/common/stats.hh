@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named counters/histograms into a StatGroup; the
+ * runner dumps them as `group.name value` rows. The package is
+ * intentionally simple: scalar counters, averages, and fixed-bucket
+ * histograms cover everything the paper's evaluation reports.
+ */
+
+#ifndef DAPSIM_COMMON_STATS_HH
+#define DAPSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dapsim
+{
+
+/** Monotonic scalar counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of submitted samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Histogram with uniform buckets over [0, max); overflow in last bucket. */
+class Histogram
+{
+  public:
+    Histogram(double max = 1.0, std::size_t buckets = 16)
+        : max_(max), buckets_(buckets, 0)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        std::size_t i =
+            v >= max_ ? buckets_.size() - 1
+                      : static_cast<std::size_t>(v / max_ * buckets_.size());
+        if (i >= buckets_.size())
+            i = buckets_.size() - 1;
+        ++buckets_[i];
+        ++count_;
+        sum_ += v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    double max_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named collection of stats owned by a component.
+ *
+ * The group stores pointers to stats that live inside the component, so
+ * a StatGroup must not outlive its component.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &n, const Counter *c);
+    void addAverage(const std::string &n, const Average *a);
+
+    /** Dump `group.name value` rows. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Look up a registered counter value by name (0 if absent). */
+    std::uint64_t counterValue(const std::string &n) const;
+
+    /** Look up a registered average mean by name (0 if absent). */
+    double averageValue(const std::string &n) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Average *> averages_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_COMMON_STATS_HH

@@ -1,0 +1,72 @@
+#include "cpu/stride_prefetcher.hh"
+
+namespace dapsim
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &cfg)
+    : cfg_(cfg), streams_(cfg.streams)
+{
+}
+
+std::size_t
+StridePrefetcher::observe(Addr addr, std::vector<Addr> &out)
+{
+    if (!cfg_.enabled)
+        return 0;
+    const std::uint64_t page = addr >> 12;
+    const Addr block = blockNumber(addr);
+    ++useClock_;
+
+    Stream *s = nullptr;
+    Stream *lru = &streams_[0];
+    for (auto &st : streams_) {
+        if (st.valid && st.page == page) {
+            s = &st;
+            break;
+        }
+        if (st.lastUse < lru->lastUse)
+            lru = &st;
+    }
+    if (s == nullptr) {
+        // Allocate a fresh stream over the LRU slot.
+        *lru = Stream{};
+        lru->valid = true;
+        lru->page = page;
+        lru->lastBlock = block;
+        lru->lastUse = useClock_;
+        return 0;
+    }
+
+    s->lastUse = useClock_;
+    const std::int64_t stride =
+        static_cast<std::int64_t>(block) -
+        static_cast<std::int64_t>(s->lastBlock);
+    if (stride == 0)
+        return 0;
+    if (stride == s->stride) {
+        if (s->confidence < 8)
+            ++s->confidence;
+    } else {
+        s->stride = stride;
+        s->confidence = 1;
+    }
+    s->lastBlock = block;
+
+    if (s->confidence < cfg_.minConfidence)
+        return 0;
+
+    std::size_t n = 0;
+    for (std::uint32_t d = 1; d <= cfg_.degree; ++d) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(block) +
+            s->stride * (cfg_.distance + d);
+        if (target < 0)
+            continue;
+        out.push_back(static_cast<Addr>(target) << kBlockShift);
+        ++n;
+    }
+    issued.inc(n);
+    return n;
+}
+
+} // namespace dapsim

@@ -1,0 +1,87 @@
+#include "dap/bandwidth_model.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace dapsim::bwmodel
+{
+
+double
+deliveredBandwidth(const std::vector<double> &bandwidths,
+                   const std::vector<double> &fractions)
+{
+    if (bandwidths.size() != fractions.size() || bandwidths.empty())
+        fatal("bwmodel: size mismatch");
+    double worst = 0.0; // max of f_i / B_i
+    for (std::size_t i = 0; i < bandwidths.size(); ++i) {
+        if (bandwidths[i] <= 0.0)
+            fatal("bwmodel: non-positive bandwidth");
+        if (fractions[i] < 0.0)
+            fatal("bwmodel: negative fraction");
+        worst = std::max(worst, fractions[i] / bandwidths[i]);
+    }
+    if (worst == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / worst;
+}
+
+std::vector<double>
+optimalFractions(const std::vector<double> &bandwidths)
+{
+    const double total =
+        std::accumulate(bandwidths.begin(), bandwidths.end(), 0.0);
+    std::vector<double> f;
+    f.reserve(bandwidths.size());
+    for (double b : bandwidths)
+        f.push_back(b / total);
+    return f;
+}
+
+double
+maxDeliveredBandwidth(const std::vector<double> &bandwidths)
+{
+    return std::accumulate(bandwidths.begin(), bandwidths.end(), 0.0);
+}
+
+double
+maxDeliveredWithInflation(const std::vector<double> &bandwidths,
+                          double inflation)
+{
+    if (inflation < 1.0)
+        fatal("bwmodel: inflation factor must be >= 1");
+    return maxDeliveredBandwidth(bandwidths) / inflation;
+}
+
+double
+dramCacheReadKernelBW(double hit_rate, double cache_bw, double mem_bw)
+{
+    // Per CPU read: cache serves h hits plus (1-h) fill writes on the
+    // same bus; memory serves (1-h) misses.
+    const double cache_load = 1.0; // h + (1-h)
+    const double mem_load = 1.0 - hit_rate;
+    const double t = std::max(cache_load / cache_bw, mem_load / mem_bw);
+    return 1.0 / t;
+}
+
+double
+edramReadKernelBW(double hit_rate, double cache_read_bw, double mem_bw)
+{
+    const double cache_load = hit_rate;
+    const double mem_load = 1.0 - hit_rate;
+    const double t =
+        std::max(cache_load / cache_read_bw, mem_load / mem_bw);
+    if (t == 0.0)
+        return cache_read_bw + mem_bw;
+    return 1.0 / t;
+}
+
+double
+optimalMemoryFraction(double cache_bw, double mem_bw)
+{
+    return mem_bw / (cache_bw + mem_bw);
+}
+
+} // namespace dapsim::bwmodel

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical bandwidth model of Section III (Equations 1-4).
+ *
+ * Models a system of n distinct, non-blocking, parallel bandwidth
+ * sources serving A accesses split in fractions f_i:
+ *
+ *   B = 1 / max(f_1/B_1, ..., f_n/B_n) = min(B_1/f_1, ..., B_n/f_n) (Eq 1-2)
+ *   max B = sum(B_i), attained at f_i = B_i / sum(B_j)              (Eq 3)
+ *   with maintenance inflation C: max B = sum(B_i) / C             (Sec III)
+ *
+ * Also provides the closed-form delivered-bandwidth curves of the
+ * Figure 1 read kernel for bidirectional DRAM-cache and split-channel
+ * eDRAM-cache hierarchies.
+ */
+
+#ifndef DAPSIM_DAP_BANDWIDTH_MODEL_HH
+#define DAPSIM_DAP_BANDWIDTH_MODEL_HH
+
+#include <vector>
+
+namespace dapsim::bwmodel
+{
+
+/** Eq 2: delivered bandwidth for per-source bandwidths and fractions. */
+double deliveredBandwidth(const std::vector<double> &bandwidths,
+                          const std::vector<double> &fractions);
+
+/** Eq 3/4: the optimal fractions f_i = B_i / sum(B). */
+std::vector<double> optimalFractions(const std::vector<double> &bandwidths);
+
+/** Eq 3: maximum delivered bandwidth = sum of source bandwidths. */
+double maxDeliveredBandwidth(const std::vector<double> &bandwidths);
+
+/** Generalized bound with access-volume inflation factor C >= 1. */
+double maxDeliveredWithInflation(const std::vector<double> &bandwidths,
+                                 double inflation);
+
+/**
+ * Figure 1 (DRAM cache): delivered read bandwidth of a read-only kernel
+ * at cache hit rate @p hit_rate, where fills from read misses share the
+ * cache's single bidirectional bus.
+ *
+ * Cache load per read = h (hit) + (1-h) (fill) = 1; memory load = 1-h.
+ */
+double dramCacheReadKernelBW(double hit_rate, double cache_bw,
+                             double mem_bw);
+
+/**
+ * Figure 1 (eDRAM cache): fills are absorbed by the separate write
+ * channels, so the read channels carry only the h hits.
+ */
+double edramReadKernelBW(double hit_rate, double cache_read_bw,
+                         double mem_bw);
+
+/**
+ * The optimal fraction of accesses the main memory should serve
+ * (the paper's 0.27 for 38.4 vs 102.4 GB/s), per Eq 4.
+ */
+double optimalMemoryFraction(double cache_bw, double mem_bw);
+
+} // namespace dapsim::bwmodel
+
+#endif // DAPSIM_DAP_BANDWIDTH_MODEL_HH

@@ -1,0 +1,155 @@
+#include "dap/dap_controller.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+std::int64_t
+DapConfig::msAccessesPerWindow() const
+{
+    return static_cast<std::int64_t>(
+        std::floor(efficiency * msPeakAccPerCycle *
+                   static_cast<double>(windowCycles)));
+}
+
+std::int64_t
+DapConfig::msWriteAccessesPerWindow() const
+{
+    return static_cast<std::int64_t>(
+        std::floor(efficiency * msWritePeakAccPerCycle *
+                   static_cast<double>(windowCycles)));
+}
+
+std::int64_t
+DapConfig::mmAccessesPerWindow() const
+{
+    return static_cast<std::int64_t>(
+        std::floor(efficiency * mmPeakAccPerCycle *
+                   static_cast<double>(windowCycles)));
+}
+
+FixedRatio
+DapConfig::ratioK() const
+{
+    if (msPeakAccPerCycle <= 0.0 || mmPeakAccPerCycle <= 0.0)
+        fatal("DapConfig: bandwidths must be set before use");
+    return FixedRatio::quantize(msPeakAccPerCycle / mmPeakAccPerCycle,
+                                kShift);
+}
+
+DapPolicy::DapPolicy(const DapConfig &cfg) : cfg_(cfg), k_(cfg.ratioK())
+{
+    if (cfg_.windowCycles == 0)
+        fatal("DapPolicy: window must be non-zero");
+}
+
+void
+DapPolicy::beginWindow(const WindowCounters &prev)
+{
+    windowsTotal.inc();
+    switch (cfg_.arch) {
+      case DapConfig::Arch::Sectored: {
+        dap::SectoredInput in;
+        in.aMs = static_cast<std::int64_t>(prev.aMs);
+        in.aMm = static_cast<std::int64_t>(prev.aMm);
+        in.readMisses = static_cast<std::int64_t>(prev.readMisses);
+        in.writes = static_cast<std::int64_t>(prev.writes);
+        in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
+        in.bMsW = cfg_.msAccessesPerWindow();
+        in.bMmW = cfg_.mmAccessesPerWindow();
+        targets_ = dap::solveSectored(in, k_, cfg_.sfrmFactor,
+                                      cfg_.targetCap);
+        break;
+      }
+      case DapConfig::Arch::Alloy: {
+        dap::AlloyInput in;
+        in.aMs = static_cast<std::int64_t>(prev.aMs);
+        in.aMm = static_cast<std::int64_t>(prev.aMm);
+        in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
+        in.bMsW = cfg_.msAccessesPerWindow();
+        in.bMmW = cfg_.mmAccessesPerWindow();
+        targets_ = dap::solveAlloy(in, k_, cfg_.sfrmFactor,
+                                   cfg_.targetCap);
+        break;
+      }
+      case DapConfig::Arch::Edram: {
+        dap::EdramInput in;
+        in.aMsRead = static_cast<std::int64_t>(prev.aMsRead);
+        in.aMsWrite = static_cast<std::int64_t>(prev.aMsWrite);
+        in.aMm = static_cast<std::int64_t>(prev.aMm);
+        in.readMisses = static_cast<std::int64_t>(prev.readMisses);
+        in.writes = static_cast<std::int64_t>(prev.writes);
+        in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
+        in.bMsReadW = cfg_.msAccessesPerWindow();
+        in.bMsWriteW = cfg_.msWriteAccessesPerWindow();
+        in.bMmW = cfg_.mmAccessesPerWindow();
+        targets_ = dap::solveEdram(in, k_, cfg_.targetCap);
+        break;
+      }
+    }
+
+    if (targets_.active)
+        windowsPartitioned.inc();
+
+    load(fwbCredits_, cfg_.enableFwb ? targets_.nFwb : 0);
+    load(wbCredits_, cfg_.enableWb ? targets_.nWb : 0);
+    load(ifrmCredits_, cfg_.enableIfrm ? targets_.nIfrm : 0);
+    load(sfrmCredits_, cfg_.enableSfrm ? targets_.nSfrm : 0);
+    load(wtCredits_, targets_.nWriteThrough);
+}
+
+bool
+DapPolicy::shouldBypassFill(Addr)
+{
+    if (!cfg_.enableFwb || !consume(fwbCredits_))
+        return false;
+    fwbApplied.inc();
+    return true;
+}
+
+bool
+DapPolicy::shouldBypassWrite(Addr)
+{
+    if (!cfg_.enableWb || !consume(wbCredits_))
+        return false;
+    wbApplied.inc();
+    return true;
+}
+
+bool
+DapPolicy::shouldForceReadMiss(Addr addr)
+{
+    if (!cfg_.enableIfrm)
+        return false;
+    // Thread-aware IFRM: spare the latency-sensitive cores' hits.
+    const std::uint64_t core = addr >> 40;
+    if (core < 64 && (cfg_.ifrmCoreMask & (1ULL << core)) == 0)
+        return false;
+    if (!consume(ifrmCredits_))
+        return false;
+    ifrmApplied.inc();
+    return true;
+}
+
+bool
+DapPolicy::shouldSpeculateToMemory(Addr)
+{
+    if (!cfg_.enableSfrm || !consume(sfrmCredits_))
+        return false;
+    sfrmApplied.inc();
+    return true;
+}
+
+bool
+DapPolicy::shouldWriteThrough(Addr)
+{
+    if (!consume(wtCredits_))
+        return false;
+    writeThroughApplied.inc();
+    return true;
+}
+
+} // namespace dapsim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The DAP policy: window-based learning + saturating credit counters.
+ *
+ * Each window of W CPU cycles, the controller feeds the previous
+ * window's demand counters to the architecture-specific solver and
+ * loads the resulting targets into four saturating credit counters
+ * (paper: sixteen bytes of state in total). The MS$ consumes credits at
+ * its FWB/WB/IFRM/SFRM decision points during the window.
+ */
+
+#ifndef DAPSIM_DAP_DAP_CONTROLLER_HH
+#define DAPSIM_DAP_DAP_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "common/fixed_ratio.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dap/dap_solver.hh"
+#include "policies/partition_policy.hh"
+
+namespace dapsim
+{
+
+/** DAP configuration (Section IV / Table I parameters). */
+struct DapConfig
+{
+    /** Memory-side cache architecture the solver must match. */
+    enum class Arch
+    {
+        Sectored,
+        Alloy,
+        Edram,
+    };
+
+    Arch arch = Arch::Sectored;
+
+    /** Window length W in CPU cycles (paper default 64). */
+    Cycle windowCycles = 64;
+
+    /** Assumed bandwidth efficiency E of all sources (default 0.75). */
+    double efficiency = 0.75;
+
+    /** Peak MS$ bandwidth in 64B accesses per CPU cycle. For Alloy this
+     *  must already be derated by the 2/3 TAD factor; for eDRAM it is
+     *  the read-channel set. */
+    double msPeakAccPerCycle = 0.0;
+
+    /** eDRAM write-channel peak (ignored by other architectures). */
+    double msWritePeakAccPerCycle = 0.0;
+
+    /** Peak main-memory bandwidth in accesses per CPU cycle. */
+    double mmPeakAccPerCycle = 0.0;
+
+    /** Headroom factor for SFRM / Alloy write-through (paper: 0.8). */
+    double sfrmFactor = 0.8;
+
+    /** log2 of K's denominator (paper approximates 8/3 as 11/4). */
+    unsigned kShift = 2;
+
+    /** Saturation value of the credit counters (8-bit hardware). */
+    std::int64_t creditMax = 255;
+
+    /** Per-window cap on each computed target (paper caps N_WB at 63). */
+    std::int64_t targetCap = 63;
+
+    /** Individual technique enables (for the ablation study). */
+    bool enableFwb = true;
+    bool enableWb = true;
+    bool enableIfrm = true;
+    bool enableSfrm = true;
+
+    /**
+     * Thread-aware IFRM (Section IV-A mentions this refinement): only
+     * cores whose bit is set may have their clean hits forced to main
+     * memory, so latency-sensitive threads keep their cache hits.
+     * Cores are identified by the per-core address-space slice
+     * (addr >> 40 in this simulator's layout). Default: all cores.
+     */
+    std::uint64_t ifrmCoreMask = ~0ULL;
+
+    /** Serviceable MS$ accesses per window: floor(E · B_MS$ · W). */
+    std::int64_t msAccessesPerWindow() const;
+    std::int64_t msWriteAccessesPerWindow() const;
+    std::int64_t mmAccessesPerWindow() const;
+
+    /** The hardware rational K = B_MS$ / B_MM. */
+    FixedRatio ratioK() const;
+};
+
+/** DAP as a pluggable partitioning policy. */
+class DapPolicy final : public PartitionPolicy
+{
+  public:
+    explicit DapPolicy(const DapConfig &cfg);
+
+    void beginWindow(const WindowCounters &prev) override;
+    bool shouldBypassFill(Addr) override;
+    bool shouldBypassWrite(Addr) override;
+    bool shouldForceReadMiss(Addr) override;
+    bool shouldSpeculateToMemory(Addr) override;
+    bool shouldWriteThrough(Addr) override;
+    const char *name() const override { return "dap"; }
+
+    const DapConfig &config() const { return cfg_; }
+
+    /** Targets computed for the current window (for tests/telemetry). */
+    const dap::Targets &currentTargets() const { return targets_; }
+
+    std::int64_t fwbCredits() const { return fwbCredits_; }
+    std::int64_t wbCredits() const { return wbCredits_; }
+    std::int64_t ifrmCredits() const { return ifrmCredits_; }
+    std::int64_t sfrmCredits() const { return sfrmCredits_; }
+
+    // Decision counts for Fig 7.
+    Counter fwbApplied;
+    Counter wbApplied;
+    Counter ifrmApplied;
+    Counter sfrmApplied;
+    Counter writeThroughApplied;
+    Counter windowsPartitioned;
+    Counter windowsTotal;
+
+  private:
+    /** Saturating credit add. */
+    void
+    load(std::int64_t &credit, std::int64_t target)
+    {
+        credit += target;
+        if (credit > cfg_.creditMax)
+            credit = cfg_.creditMax;
+    }
+
+    static bool
+    consume(std::int64_t &credit)
+    {
+        if (credit <= 0)
+            return false;
+        --credit;
+        return true;
+    }
+
+    DapConfig cfg_;
+    FixedRatio k_;
+    dap::Targets targets_;
+
+    std::int64_t fwbCredits_ = 0;
+    std::int64_t wbCredits_ = 0;
+    std::int64_t ifrmCredits_ = 0;
+    std::int64_t sfrmCredits_ = 0;
+    std::int64_t wtCredits_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_DAP_DAP_CONTROLLER_HH

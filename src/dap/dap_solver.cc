@@ -1,0 +1,184 @@
+#include "dap/dap_solver.hh"
+
+#include <algorithm>
+
+namespace dapsim::dap
+{
+
+namespace
+{
+
+std::int64_t
+clampTarget(std::int64_t v, std::int64_t hi, std::int64_t cap)
+{
+    return std::clamp<std::int64_t>(v, 0, std::min(hi, cap));
+}
+
+} // namespace
+
+Targets
+solveSectored(const SectoredInput &in, const FixedRatio &k,
+              double sfrm_factor, std::int64_t target_cap)
+{
+    Targets t;
+    std::int64_t adj_mm = in.aMm; // A_MM adjusted for WB and IFRM
+
+    if (in.aMs > in.bMsW) {
+        t.active = true;
+
+        // Maximum partitioning ever needed: the demand excess
+        // (Section IV-A).
+        const std::int64_t max_part = in.aMs - in.bMsW;
+
+        // Fill Write Bypass, Eq 6: N_FWB = A_MS$ - K·A_MM.
+        std::int64_t n_fwb = in.aMs - k.mul(in.aMm);
+        if (n_fwb <= 0) {
+            // Main memory is the bottleneck: exit partitioning (no
+            // bypassing, and the SFRM spare below is negative too).
+            t.active = false;
+            return t;
+        }
+        n_fwb = std::min(n_fwb, max_part);
+        const bool fwb_insufficient = n_fwb > in.readMisses;
+        t.nFwb = clampTarget(n_fwb, in.readMisses, target_cap);
+
+        if (fwb_insufficient) {
+            // Write Bypass, Eq 7: (1+K)·N_WB = A_MS$ - K·A_MM - R_m.
+            const std::int64_t scaled =
+                in.aMs - k.mul(in.aMm) - in.readMisses;
+            std::int64_t n_wb = k.divByKPlusOne(scaled);
+            if (n_wb > 0) {
+                const bool wb_insufficient = n_wb > in.writes;
+                t.nWb = clampTarget(n_wb, in.writes, target_cap);
+                adj_mm += t.nWb;
+
+                if (wb_insufficient) {
+                    // IFRM, Eq 8 after adjusting for all writes
+                    // bypassed: (1+K)·N_IFRM =
+                    //   A_MS$ - K·(A_MM + W_m) - R_m - W_m.
+                    const std::int64_t s2 =
+                        in.aMs - k.mul(in.aMm + in.writes) -
+                        in.readMisses - in.writes;
+                    const std::int64_t n_ifrm = k.divByKPlusOne(s2);
+                    t.nIfrm = clampTarget(n_ifrm, in.cleanHits,
+                                          target_cap);
+                    adj_mm += t.nIfrm;
+                }
+            }
+        }
+    }
+
+    // SFRM: 0.8·(B_MM·W - A_MM - N_WB - N_IFRM), floored at zero.
+    // Fig 3 computes this in its own box: SFRM is applied whenever
+    // spare main-memory bandwidth exists, since issuing the read in
+    // parallel with the tag fetch never adds latency — it only risks
+    // wasted memory bandwidth on dirty hits (hence the 0.8 headroom).
+    const std::int64_t spare = in.bMmW - adj_mm;
+    if (spare > 0) {
+        const auto n_sfrm = static_cast<std::int64_t>(
+            sfrm_factor * static_cast<double>(spare));
+        t.nSfrm = std::min(n_sfrm, target_cap);
+    }
+    return t;
+}
+
+Targets
+solveAlloy(const AlloyInput &in, const FixedRatio &k, double wt_factor,
+           std::int64_t target_cap)
+{
+    Targets t;
+    if (in.aMs > in.bMsW) {
+        // IFRM only (Eq 8 with N_WB = 0): (1+K)·N_IFRM = A_MS$ - K·A_MM.
+        const std::int64_t scaled = in.aMs - k.mul(in.aMm);
+        if (scaled > 0) {
+            t.active = true;
+            const std::int64_t max_part = in.aMs - in.bMsW;
+            std::int64_t n_ifrm = k.divByKPlusOne(scaled);
+            n_ifrm = std::min(n_ifrm, max_part);
+            t.nIfrm = clampTarget(n_ifrm, in.cleanHits, target_cap);
+        }
+    }
+    // Opportunistic write-through funded by residual MM bandwidth
+    // keeps enough clean lines for future IFRM (Section IV-B). It only
+    // pays off while partitioning is being exercised — unconditional
+    // write-through is pure main-memory overhead.
+    const std::int64_t spare = in.bMmW - (in.aMm + t.nIfrm);
+    if (t.active && spare > 0) {
+        const auto n_wt = static_cast<std::int64_t>(
+            wt_factor * static_cast<double>(spare));
+        t.nWriteThrough = std::min(n_wt, target_cap);
+    }
+    return t;
+}
+
+Targets
+solveEdram(const EdramInput &in, const FixedRatio &k,
+           std::int64_t target_cap)
+{
+    Targets t;
+    const bool read_short = in.aMsRead > in.bMsReadW;
+    const bool write_short = in.aMsWrite > in.bMsWriteW;
+    if (!read_short && !write_short)
+        return t;
+    t.active = true;
+
+    if (read_short && !write_short) {
+        // Case (i), Eq 9: (1+K)·N_IFRM = A_MS$-R - K·A_MM.
+        const std::int64_t scaled = in.aMsRead - k.mul(in.aMm);
+        if (scaled <= 0) {
+            t.active = false;
+            return t;
+        }
+        std::int64_t n_ifrm = k.divByKPlusOne(scaled);
+        n_ifrm = std::min(n_ifrm, in.aMsRead - in.bMsReadW);
+        t.nIfrm = clampTarget(n_ifrm, in.cleanHits, target_cap);
+        return t;
+    }
+
+    if (write_short && !read_short) {
+        // Case (ii), Eq 10: N_FWB = A_MS$-W - K·A_MM.
+        std::int64_t n_fwb = in.aMsWrite - k.mul(in.aMm);
+        if (n_fwb <= 0) {
+            t.active = false;
+            return t;
+        }
+        n_fwb = std::min(n_fwb, in.aMsWrite - in.bMsWriteW);
+        const bool insufficient = n_fwb > in.readMisses;
+        t.nFwb = clampTarget(n_fwb, in.readMisses, target_cap);
+        if (insufficient) {
+            // Eq 11: (1+K)·N_WB = A_MS$-W - N_FWB - K·A_MM.
+            const std::int64_t scaled =
+                in.aMsWrite - t.nFwb - k.mul(in.aMm);
+            const std::int64_t n_wb = k.divByKPlusOne(scaled);
+            t.nWb = clampTarget(n_wb, in.writes, target_cap);
+        }
+        return t;
+    }
+
+    // Case (iii): both directions short. Eq 10 first, then the
+    // simultaneous closed forms of Eq 12.
+    std::int64_t n_fwb = in.aMsWrite - k.mul(in.aMm);
+    if (n_fwb <= 0) {
+        // A negative solution means main memory is the bottleneck:
+        // exit partitioning (Section IV-A applies this rule to WB and
+        // IFRM as well).
+        t.active = false;
+        return t;
+    }
+    t.nFwb = clampTarget(std::min(n_fwb, in.aMsWrite - in.bMsWriteW),
+                         in.readMisses, target_cap);
+    const std::int64_t adj_w = in.aMsWrite - t.nFwb;
+    // (2K+1)·N_WB = (K+1)(A_MS$-W - N_FWB) - K·A_MS$-R - K·A_MM
+    const std::int64_t wb_scaled = k.mulPlusOne(adj_w) -
+                                   k.mul(in.aMsRead) - k.mul(in.aMm);
+    t.nWb = clampTarget(k.divByTwoKPlusOne(wb_scaled), in.writes,
+                        target_cap);
+    // (2K+1)·N_IFRM = (K+1)·A_MS$-R - K·(A_MS$-W - N_FWB) - K·A_MM
+    const std::int64_t ifrm_scaled = k.mulPlusOne(in.aMsRead) -
+                                     k.mul(adj_w) - k.mul(in.aMm);
+    t.nIfrm = clampTarget(k.divByTwoKPlusOne(ifrm_scaled), in.cleanHits,
+                          target_cap);
+    return t;
+}
+
+} // namespace dapsim::dap

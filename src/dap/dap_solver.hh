@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pure integer solvers for DAP's per-window partitioning targets.
+ *
+ * These functions implement the closed forms of Section IV for the
+ * three memory-side cache architectures:
+ *  - sectored DRAM cache: Fig 3 flow, Equations 5-8,
+ *  - Alloy cache: Equation 8 with implicit fill bypass + write-through,
+ *  - sectored eDRAM cache: Equations 9-12 (three-source cases i-iii).
+ *
+ * All arithmetic is integer with the hardware-friendly rational K
+ * (FixedRatio), mirroring the paper's division-free (K+1)N counters.
+ */
+
+#ifndef DAPSIM_DAP_DAP_SOLVER_HH
+#define DAPSIM_DAP_DAP_SOLVER_HH
+
+#include <cstdint>
+
+#include "common/fixed_ratio.hh"
+
+namespace dapsim::dap
+{
+
+/** Per-window partitioning targets (credits to load). */
+struct Targets
+{
+    std::int64_t nFwb = 0;   ///< fill write bypasses
+    std::int64_t nWb = 0;    ///< write bypasses
+    std::int64_t nIfrm = 0;  ///< informed forced read misses
+    std::int64_t nSfrm = 0;  ///< speculative forced read misses
+    std::int64_t nWriteThrough = 0; ///< Alloy opportunistic write-through
+    bool active = false;     ///< partitioning invoked this window
+};
+
+/** Inputs for the single-bus (DRAM cache) solver. */
+struct SectoredInput
+{
+    std::int64_t aMs = 0;        ///< A_MS$ observed last window
+    std::int64_t aMm = 0;        ///< A_MM observed last window
+    std::int64_t readMisses = 0; ///< R_m (fill candidates)
+    std::int64_t writes = 0;     ///< W_m (L3 dirty evictions)
+    std::int64_t cleanHits = 0;  ///< IFRM candidates
+    std::int64_t bMsW = 0;       ///< serviceable MS$ accesses per window
+    std::int64_t bMmW = 0;       ///< serviceable MM accesses per window
+};
+
+/**
+ * Fig 3 flow for sectored DRAM caches.
+ * @param k hardware rational K = B_MS$ / B_MM
+ * @param sfrm_factor the 0.8 emergency-headroom factor
+ * @param target_cap per-window cap on each technique (paper: 63)
+ */
+Targets solveSectored(const SectoredInput &in, const FixedRatio &k,
+                      double sfrm_factor = 0.8,
+                      std::int64_t target_cap = 63);
+
+/** Inputs for the Alloy-cache solver. */
+struct AlloyInput
+{
+    std::int64_t aMs = 0;
+    std::int64_t aMm = 0;
+    std::int64_t cleanHits = 0;  ///< DBC-known-clean read hits
+    std::int64_t bMsW = 0;       ///< already derated by the 2/3 TAD bloat
+    std::int64_t bMmW = 0;
+};
+
+/**
+ * Alloy solver (Section IV-B): only IFRM is a metered bypass (FWB/WB
+ * would cost Alloy bandwidth to invalidate/probe); residual MM
+ * bandwidth funds opportunistic write-through to keep lines clean.
+ */
+Targets solveAlloy(const AlloyInput &in, const FixedRatio &k,
+                   double wt_factor = 0.8, std::int64_t target_cap = 63);
+
+/** Inputs for the eDRAM (three-source) solver. */
+struct EdramInput
+{
+    std::int64_t aMsRead = 0;   ///< A_MS$-R
+    std::int64_t aMsWrite = 0;  ///< A_MS$-W
+    std::int64_t aMm = 0;
+    std::int64_t readMisses = 0;
+    std::int64_t writes = 0;
+    std::int64_t cleanHits = 0;
+    std::int64_t bMsReadW = 0;  ///< B_MS$-R · W
+    std::int64_t bMsWriteW = 0; ///< B_MS$-W · W
+    std::int64_t bMmW = 0;
+};
+
+/** eDRAM solver (Section IV-C, cases i/ii/iii, Equations 9-12). */
+Targets solveEdram(const EdramInput &in, const FixedRatio &k,
+                   std::int64_t target_cap = 63);
+
+} // namespace dapsim::dap
+
+#endif // DAPSIM_DAP_DAP_SOLVER_HH

@@ -1,0 +1,60 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "dram/dram_config.hh"
+
+namespace dapsim
+{
+
+Bank::Access
+Bank::peek(const DramConfig &cfg, Tick at, std::uint64_t row) const
+{
+    Bank copy = *this;
+    return copy.reserve(cfg, at, row);
+}
+
+Bank::Access
+Bank::reserve(const DramConfig &cfg, Tick at, std::uint64_t row)
+{
+    const Tick period = cfg.periodPs();
+    const Tick tCas = cfg.tCAS * period;
+    const Tick tRcd = cfg.tRCD * period;
+    const Tick tRp = cfg.tRP * period;
+    const Tick tRas = cfg.tRAS * period;
+
+    Tick start = std::max(at, readyAt_);
+    Access acc{};
+    acc.rowHit = (openRow_ == row);
+    acc.rowEmpty = (openRow_ == kNoRow);
+
+    if (acc.rowHit) {
+        acc.dataReadyAt = start + tCas;
+    } else if (acc.rowEmpty) {
+        activatedAt_ = start;
+        acc.dataReadyAt = start + tRcd + tCas;
+    } else {
+        // Row conflict: precharge (respecting tRAS), activate, read.
+        const Tick preAt = std::max(start, activatedAt_ + tRas);
+        activatedAt_ = preAt + tRp;
+        acc.dataReadyAt = activatedAt_ + tRcd + tCas;
+    }
+
+    openRow_ = row;
+    // Column commands pipeline at tCCD (one burst) on an open row: the
+    // bank accepts the next CAS one burst after this one's command
+    // slot, while this access's data arrives tCAS later.
+    const Tick cmd_at = acc.dataReadyAt - tCas;
+    readyAt_ = cmd_at + cfg.burstTicks();
+    return acc;
+}
+
+void
+Bank::refresh(const DramConfig &cfg, Tick now)
+{
+    openRow_ = kNoRow;
+    const Tick start = std::max(now, readyAt_);
+    readyAt_ = start + cfg.tRFC * cfg.periodPs();
+}
+
+} // namespace dapsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Row-buffer state machine for one DRAM bank.
+ *
+ * Banks track the open row and the ticks at which the next column
+ * command and the next precharge may legally issue (tRCD/tCAS/tRP/tRAS).
+ */
+
+#ifndef DAPSIM_DRAM_BANK_HH
+#define DAPSIM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+struct DramConfig;
+
+/** One DRAM bank: open-row state plus occupancy timeline. */
+class Bank
+{
+  public:
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t(0);
+
+    /** Result of reserving the bank for one column access. */
+    struct Access
+    {
+        /** Earliest tick data may start moving on the bus. */
+        Tick dataReadyAt;
+        /** Whether the access hit the open row. */
+        bool rowHit;
+        /** Whether the bank had no open row (page-empty access). */
+        bool rowEmpty;
+    };
+
+    /**
+     * Reserve the bank for a column access to @p row, requested at tick
+     * @p at. Updates the bank timeline and open-row state.
+     */
+    Access reserve(const DramConfig &cfg, Tick at, std::uint64_t row);
+
+    /** Compute the access timing without changing any state (used by
+     *  the scheduler to rank candidates). */
+    Access peek(const DramConfig &cfg, Tick at, std::uint64_t row) const;
+
+    /** Open row, or kNoRow. */
+    std::uint64_t openRow() const { return openRow_; }
+
+    /** Earliest tick the bank could begin a new column command. */
+    Tick readyAt() const { return readyAt_; }
+
+    /** Force-close the row (used by tests and refresh-like events). */
+    void
+    precharge()
+    {
+        openRow_ = kNoRow;
+    }
+
+    /** All-bank refresh: closes the row and occupies the bank for
+     *  tRFC from @p now (or from its current busy point). */
+    void refresh(const DramConfig &cfg, Tick now);
+
+  private:
+    std::uint64_t openRow_ = kNoRow;
+    Tick readyAt_ = 0;
+    /** Tick of the most recent activate (for tRAS). */
+    Tick activatedAt_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_DRAM_BANK_HH

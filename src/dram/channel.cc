@@ -1,0 +1,221 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+namespace dapsim
+{
+
+Channel::Channel(EventQueue &eq, const DramConfig &cfg, std::uint32_t index)
+    : eq_(eq), cfg_(cfg), index_(index),
+      banks_(cfg.ranksPerChannel * cfg.banksPerRank)
+{
+    if (cfg_.tREFI > 0) {
+        // Stagger channels so refreshes don't align system-wide.
+        const Tick first = (index + 1) *
+                           (cfg_.tREFI * cfg_.periodPs()) /
+                           (cfg_.channels + 1);
+        eq_.schedule(first, [this] { refreshTick(); });
+    }
+}
+
+void
+Channel::refreshTick()
+{
+    refreshes.inc();
+    for (Bank &b : banks_)
+        b.refresh(cfg_, eq_.now());
+    eq_.scheduleAfter(cfg_.tREFI * cfg_.periodPs(),
+                      [this] { refreshTick(); });
+}
+
+void
+Channel::enqueue(ChannelRequest req)
+{
+    req.enqueuedAt = eq_.now();
+    if (req.isWrite) {
+        writeQ_.push_back(std::move(req));
+    } else if (req.lowPriority) {
+        readQ_.push_back(std::move(req));
+    } else {
+        // Demand reads jump ahead of queued low-priority fetches.
+        auto it = readQ_.begin();
+        while (it != readQ_.end() && !it->lowPriority)
+            ++it;
+        readQ_.insert(it, std::move(req));
+    }
+    scheduleKick(eq_.now());
+}
+
+void
+Channel::scheduleKick(Tick when)
+{
+    if (when < eq_.now())
+        when = eq_.now();
+    // Collapse redundant wakeups: only one live kick is kept pending.
+    if (kickPending_ && when >= nextKickAt_)
+        return;
+    kickPending_ = true;
+    nextKickAt_ = when;
+    eq_.schedule(when, [this, when] {
+        // A kick superseded by an earlier one (or already consumed) is
+        // stale and must die here, or the event population grows
+        // without bound while a queue is backlogged.
+        if (!kickPending_ || when != nextKickAt_)
+            return;
+        kickPending_ = false;
+        kick();
+    });
+}
+
+std::size_t
+Channel::pick(const std::deque<ChannelRequest> &q) const
+{
+    // FR-FCFS flavour: within the scan window, choose the request
+    // whose data could start earliest (row hits on ready banks win;
+    // requests to backed-up banks lose). Ties resolve to the oldest,
+    // which bounds starvation together with the scan depth.
+    const std::size_t depth =
+        std::min<std::size_t>(q.size(), cfg_.schedulerScanDepth);
+    std::size_t best = 0;
+    Tick best_ready = ~Tick(0);
+    for (std::size_t i = 0; i < depth; ++i) {
+        const auto &r = q[i];
+        const Bank::Access a =
+            banks_[r.bank].peek(cfg_, eq_.now(), r.row);
+        if (a.dataReadyAt < best_ready) {
+            best_ready = a.dataReadyAt;
+            best = i;
+        }
+    }
+    return best;
+}
+
+Tick
+Channel::placeBus(Tick ready, Tick occ, bool reserve)
+{
+    // Prune reservations that ended in the past.
+    const Tick now = eq_.now();
+    std::erase_if(busResv_,
+                  [now](const auto &r) { return r.second <= now; });
+
+    Tick start = ready;
+    std::size_t pos = 0;
+    for (; pos < busResv_.size(); ++pos) {
+        const auto &[s, e] = busResv_[pos];
+        if (start + occ <= s)
+            break; // fits in the gap before this reservation
+        if (start < e)
+            start = e; // overlap: push past it
+    }
+    if (reserve) {
+        busResv_.insert(busResv_.begin() +
+                            static_cast<std::ptrdiff_t>(pos),
+                        {start, start + occ});
+    }
+    return start;
+}
+
+Tick
+Channel::maxAhead() const
+{
+    // Tolerate a full row-conflict preparation plus a few bursts so
+    // bank preparations on independent banks can proceed in parallel.
+    return (cfg_.tRP + cfg_.tRCD + cfg_.tCAS) * cfg_.periodPs() +
+           4 * cfg_.burstTicks();
+}
+
+void
+Channel::issue(std::deque<ChannelRequest> &q, std::size_t idx)
+{
+    ChannelRequest req = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    Bank &bank = banks_[req.bank];
+    const Bank::Access acc = bank.reserve(cfg_, eq_.now(), req.row);
+
+    const Tick period = cfg_.periodPs();
+    Tick occupancy = cfg_.burstTicks() + req.extraDataClocks * period;
+    if (req.isWrite != lastWasWrite_) {
+        // Direction flip: charge the turnaround as bus occupancy.
+        occupancy += cfg_.turnaroundCycles * period;
+        turnarounds.inc();
+    }
+    lastWasWrite_ = req.isWrite;
+
+    const Tick dataStart = placeBus(acc.dataReadyAt, occupancy, true);
+    const Tick dataEnd = dataStart + occupancy;
+    busBusy_ += occupancy;
+
+    if (acc.rowHit)
+        rowHits.inc();
+    else
+        rowMisses.inc();
+
+    const Tick ioDelay = cfg_.ioDelayCycles * period;
+    if (req.isWrite) {
+        casWrites.inc();
+    } else {
+        casReads.inc();
+        readQueueDelay.sample(static_cast<double>(dataStart -
+                                                  req.enqueuedAt));
+        readLatency.sample(static_cast<double>(dataEnd + ioDelay -
+                                               req.enqueuedAt));
+    }
+
+    if (req.onComplete) {
+        const Tick doneAt = req.isWrite ? dataEnd : dataEnd + ioDelay;
+        eq_.schedule(doneAt, std::move(req.onComplete));
+    }
+}
+
+void
+Channel::kick()
+{
+    kicks.inc();
+
+    // Issue eagerly while the best candidate's data transfer could
+    // begin within maxAhead(); beyond that, sleep until the candidate
+    // becomes imminent so newly arriving requests can still reorder.
+    while (true) {
+        if (readQ_.empty() && writeQ_.empty()) {
+            kicksEmpty.inc();
+            return;
+        }
+
+        // Write batching: start draining above the high watermark or
+        // when reads are idle; stop at the low watermark.
+        if (draining_) {
+            if (writeQ_.size() <= cfg_.writeQueueLow)
+                draining_ = false;
+        } else if (writeQ_.size() >= cfg_.writeQueueHigh) {
+            draining_ = true;
+        }
+
+        std::deque<ChannelRequest> *q = nullptr;
+        if (draining_ && !writeQ_.empty())
+            q = &writeQ_;
+        else if (!readQ_.empty())
+            q = &readQ_;
+        else if (!writeQ_.empty())
+            q = &writeQ_; // opportunistic writes when reads are idle
+        if (q == nullptr)
+            return;
+
+        const std::size_t idx = pick(*q);
+        const ChannelRequest &cand = (*q)[idx];
+        const Bank::Access a =
+            banks_[cand.bank].peek(cfg_, eq_.now(), cand.row);
+        const Tick start =
+            placeBus(a.dataReadyAt, cfg_.burstTicks(), false);
+        if (start > eq_.now() + maxAhead()) {
+            kicksWait.inc();
+            scheduleKick(start - maxAhead());
+            return;
+        }
+
+        kicksIssue.inc();
+        issue(*q, idx);
+    }
+}
+
+} // namespace dapsim

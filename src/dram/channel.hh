@@ -1,0 +1,121 @@
+/**
+ * @file
+ * One DRAM channel: request queues, FR-FCFS-style scheduler, data bus.
+ *
+ * The scheduler ranks requests in a bounded scan window by the tick at
+ * which their data could start moving (row hits on free banks first),
+ * lets bank preparations proceed in parallel on independent banks, and
+ * places data transfers into gaps of a bus-reservation timeline.
+ * Writes are batched between drain watermarks to limit turnarounds;
+ * low-priority reads (prefetch fetches) queue behind demand reads.
+ */
+
+#ifndef DAPSIM_DRAM_CHANNEL_HH
+#define DAPSIM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/dram_config.hh"
+
+namespace dapsim
+{
+
+/** A single 64B column access presented to a channel. */
+struct ChannelRequest
+{
+    std::uint64_t row = 0;
+    std::uint32_t bank = 0;
+    bool isWrite = false;
+    /** Extra data-bus command clocks (Alloy TAD uses burst-6 = +1). */
+    std::uint32_t extraDataClocks = 0;
+    /** Low-priority reads (footprint prefetch fetches) queue behind
+     *  demand reads so fill bursts cannot crowd the critical path. */
+    bool lowPriority = false;
+    /** Invoked when the access's data transfer (plus I/O) completes. */
+    std::function<void()> onComplete;
+    Tick enqueuedAt = 0;
+};
+
+/** One channel with its banks, queues and scheduler. */
+class Channel
+{
+  public:
+    Channel(EventQueue &eq, const DramConfig &cfg, std::uint32_t index);
+
+    /** Enqueue an access; queues are unbounded (MLP is core-bounded). */
+    void enqueue(ChannelRequest req);
+
+    std::size_t readQueueLen() const { return readQ_.size(); }
+    std::size_t writeQueueLen() const { return writeQ_.size(); }
+
+    /** Ticks the data bus has been occupied (for utilization stats). */
+    Tick busBusyTicks() const { return busBusy_; }
+
+    // Aggregate statistics.
+    Counter kicks;
+    Counter kicksEmpty;
+    Counter kicksWait;
+    Counter kicksIssue;
+    Counter casReads;
+    Counter casWrites;
+    Counter rowHits;
+    Counter rowMisses;
+    Counter turnarounds;
+    Counter refreshes;
+    Average readQueueDelay;   ///< ticks from enqueue to data start (reads)
+    Average readLatency;      ///< ticks from enqueue to completion (reads)
+
+  private:
+    /** Try to issue requests; reschedules itself as needed. */
+    void kick();
+
+    /** Arrange for kick() to run at tick @p when (coalesced). */
+    void scheduleKick(Tick when);
+
+    /** Pick the index of the best candidate in @p q (earliest data). */
+    std::size_t pick(const std::deque<ChannelRequest> &q) const;
+
+    /**
+     * Find the earliest bus slot of length @p occ starting at or after
+     * @p ready. With @p reserve the slot is claimed.
+     */
+    Tick placeBus(Tick ready, Tick occ, bool reserve);
+
+    /** Issue one request from @p q at position @p idx. */
+    void issue(std::deque<ChannelRequest> &q, std::size_t idx);
+
+    /** Longest tolerated gap between now and a candidate's data start
+     *  before the scheduler goes back to sleep. */
+    Tick maxAhead() const;
+
+    /** Periodic all-bank refresh (active when cfg.tREFI > 0). */
+    void refreshTick();
+
+    EventQueue &eq_;
+    const DramConfig &cfg_;
+    [[maybe_unused]] std::uint32_t index_;
+
+    std::deque<ChannelRequest> readQ_;
+    std::deque<ChannelRequest> writeQ_;
+    std::vector<Bank> banks_;
+
+    /** Future bus reservations [start, end), sorted by start tick. */
+    std::vector<std::pair<Tick, Tick>> busResv_;
+
+    bool lastWasWrite_ = false;
+    bool draining_ = false;
+    bool kickPending_ = false;
+    Tick nextKickAt_ = 0;
+    Tick busBusy_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_DRAM_CHANNEL_HH

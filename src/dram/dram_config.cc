@@ -1,0 +1,55 @@
+#include "dram/dram_config.hh"
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+Tick
+DramConfig::burstTicks() const
+{
+    // A burst of length BL takes BL/2 command clocks on a DDR bus and
+    // BL clocks on an SDR bus.
+    const std::uint32_t clocks = ddr ? (burstLength + 1) / 2 : burstLength;
+    return static_cast<Tick>(clocks) * periodPs();
+}
+
+std::uint64_t
+DramConfig::burstBytes() const
+{
+    return static_cast<std::uint64_t>(channelWidthBits) / 8 * burstLength;
+}
+
+double
+DramConfig::peakGBps() const
+{
+    const double transfersPerSec =
+        static_cast<double>(freqMHz) * 1e6 * (ddr ? 2.0 : 1.0);
+    const double bytesPerSec =
+        transfersPerSec * (channelWidthBits / 8.0) * channels;
+    return bytesPerSec / 1e9;
+}
+
+double
+DramConfig::peakAccessesPerCpuCycle() const
+{
+    const double bytesPerSec = peakGBps() * 1e9;
+    const double accPerSec = bytesPerSec / kBlockBytes;
+    const double cpuHz = static_cast<double>(kPsPerSecond) / kCpuPeriodPs;
+    return accPerSec / cpuHz;
+}
+
+void
+DramConfig::validate() const
+{
+    if (channels == 0 || ranksPerChannel == 0 || banksPerRank == 0)
+        fatal(name + ": zero geometry");
+    if (!isPowerOfTwo(rowBufferBytes) || rowBufferBytes < kBlockBytes)
+        fatal(name + ": bad row buffer size");
+    if (burstBytes() != kBlockBytes)
+        fatal(name + ": one burst must transfer one 64B block");
+    if (writeQueueLow >= writeQueueHigh)
+        fatal(name + ": write drain watermarks inverted");
+}
+
+} // namespace dapsim

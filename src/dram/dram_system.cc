@@ -1,0 +1,139 @@
+#include "dram/dram_system.hh"
+
+namespace dapsim
+{
+
+DramSystem::DramSystem(EventQueue &eq, DramConfig cfg)
+    : eq_(eq), cfg_(std::move(cfg))
+{
+    cfg_.validate();
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+        channels_.push_back(std::make_unique<Channel>(eq_, cfg_, i));
+}
+
+DramSystem::Decoded
+DramSystem::decode(Addr addr) const
+{
+    // Block-interleaved channels, then column-within-row, then bank,
+    // then row: streams get both channel parallelism and row hits. The
+    // channel index is permuted by a hash of the global row so that
+    // row-aligned structures (sector frames, metadata blocks) spread
+    // over all channels instead of aliasing onto one.
+    std::uint64_t b = blockNumber(addr);
+    Decoded d{};
+    const std::uint64_t global_row =
+        b / (cfg_.channels * cfg_.blocksPerRow());
+    d.channel = static_cast<std::uint32_t>(
+        (b + indexHash(global_row)) % cfg_.channels);
+    b /= cfg_.channels;
+    const std::uint64_t cols = cfg_.blocksPerRow();
+    b /= cols; // column index within row does not affect timing state
+    const std::uint64_t banks = static_cast<std::uint64_t>(
+        cfg_.ranksPerChannel) * cfg_.banksPerRank;
+    d.bank = static_cast<std::uint32_t>(b % banks);
+    d.row = b / banks;
+    return d;
+}
+
+void
+DramSystem::access(Addr addr, bool is_write,
+                   std::function<void()> on_complete,
+                   std::uint32_t extra_clocks, bool low_priority)
+{
+    const Decoded d = decode(addr);
+    ChannelRequest req;
+    req.row = d.row;
+    req.bank = d.bank;
+    req.isWrite = is_write;
+    req.extraDataClocks = extra_clocks;
+    req.lowPriority = low_priority;
+    req.onComplete = std::move(on_complete);
+    channels_[d.channel]->enqueue(std::move(req));
+}
+
+std::uint64_t
+DramSystem::casOps() const
+{
+    return casReads() + casWrites();
+}
+
+std::uint64_t
+DramSystem::casReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c->casReads.value();
+    return n;
+}
+
+std::uint64_t
+DramSystem::casWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c->casWrites.value();
+    return n;
+}
+
+std::uint64_t
+DramSystem::rowHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c->rowHits.value();
+    return n;
+}
+
+std::uint64_t
+DramSystem::rowMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c->rowMisses.value();
+    return n;
+}
+
+double
+DramSystem::meanReadLatency() const
+{
+    double sum = 0.0;
+    std::uint64_t cnt = 0;
+    for (const auto &c : channels_) {
+        sum += c->readLatency.sum();
+        cnt += c->readLatency.count();
+    }
+    return cnt ? sum / static_cast<double>(cnt) : 0.0;
+}
+
+std::size_t
+DramSystem::totalReadQueue() const
+{
+    std::size_t n = 0;
+    for (const auto &c : channels_)
+        n += c->readQueueLen();
+    return n;
+}
+
+std::size_t
+DramSystem::totalWriteQueue() const
+{
+    std::size_t n = 0;
+    for (const auto &c : channels_)
+        n += c->writeQueueLen();
+    return n;
+}
+
+double
+DramSystem::busUtilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &c : channels_)
+        busy += c->busBusyTicks();
+    return static_cast<double>(busy) /
+           (static_cast<double>(elapsed) * cfg_.channels);
+}
+
+} // namespace dapsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-channel DRAM subsystem front-end.
+ *
+ * Maps 64B block addresses to (channel, bank, row) and forwards accesses
+ * to the per-channel schedulers. Used for the DDR/LPDDR main memory, the
+ * HBM array behind the DRAM caches, and each direction of the eDRAM
+ * cache's split channels.
+ */
+
+#ifndef DAPSIM_DRAM_DRAM_SYSTEM_HH
+#define DAPSIM_DRAM_DRAM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/channel.hh"
+#include "dram/dram_config.hh"
+
+namespace dapsim
+{
+
+/** A complete DRAM subsystem (one bandwidth source). */
+class DramSystem
+{
+  public:
+    DramSystem(EventQueue &eq, DramConfig cfg);
+
+    /**
+     * Issue one 64B access.
+     * @param addr        byte address (block-aligned internally)
+     * @param is_write    write (posted) vs read
+     * @param on_complete invoked when data transfer (+ I/O) finishes
+     * @param extra_clocks extra data-bus clocks (Alloy TAD bloat)
+     */
+    void access(Addr addr, bool is_write,
+                std::function<void()> on_complete = nullptr,
+                std::uint32_t extra_clocks = 0,
+                bool low_priority = false);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Total column operations issued (the paper's CAS count). */
+    std::uint64_t casOps() const;
+    std::uint64_t casReads() const;
+    std::uint64_t casWrites() const;
+    std::uint64_t rowHits() const;
+    std::uint64_t rowMisses() const;
+
+    /** Mean read latency over all channels, in ticks. */
+    double meanReadLatency() const;
+
+    /** Aggregate queue occupancy (for SBD's expected-latency estimate). */
+    std::size_t totalReadQueue() const;
+    std::size_t totalWriteQueue() const;
+
+    /** Data delivered, in bytes (64 per CAS, TAD bloat not counted). */
+    std::uint64_t dataBytes() const { return casOps() * kBlockBytes; }
+
+    /** Bus utilization in [0,1] over @p elapsed ticks. */
+    double busUtilization(Tick elapsed) const;
+
+    Channel &channel(std::uint32_t i) { return *channels_[i]; }
+    std::uint32_t numChannels() const { return cfg_.channels; }
+
+  private:
+    struct Decoded
+    {
+        std::uint32_t channel;
+        std::uint32_t bank;
+        std::uint64_t row;
+    };
+
+    Decoded decode(Addr addr) const;
+
+    EventQueue &eq_;
+    DramConfig cfg_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,140 @@
+#include "dram/presets.hh"
+
+namespace dapsim::presets
+{
+
+DramConfig
+ddr4_2400()
+{
+    DramConfig c;
+    c.name = "ddr4-2400";
+    c.channels = 2;
+    c.ranksPerChannel = 2;
+    c.banksPerRank = 8;
+    c.rowBufferBytes = 2 * kKiB;
+    c.freqMHz = 1200;
+    c.ddr = true;
+    c.channelWidthBits = 64;
+    c.burstLength = 8;
+    c.tCAS = 15;
+    c.tRCD = 15;
+    c.tRP = 15;
+    c.tRAS = 39;
+    c.ioDelayCycles = 10;
+    c.turnaroundCycles = 4;
+    return c;
+}
+
+DramConfig
+ddr4_2400_no_io()
+{
+    DramConfig c = ddr4_2400();
+    c.name = "ddr4-2400-noio";
+    c.ioDelayCycles = 0;
+    return c;
+}
+
+DramConfig
+ddr4_3200()
+{
+    DramConfig c = ddr4_2400();
+    c.name = "ddr4-3200";
+    c.freqMHz = 1600;
+    c.tCAS = 20;
+    c.tRCD = 20;
+    c.tRP = 20;
+    c.tRAS = 52;
+    return c;
+}
+
+DramConfig
+lpddr4_2400()
+{
+    DramConfig c;
+    c.name = "lpddr4-2400";
+    c.channels = 4;
+    c.ranksPerChannel = 1;
+    c.banksPerRank = 8;
+    c.rowBufferBytes = 2 * kKiB;
+    c.freqMHz = 1200;
+    c.ddr = true;
+    c.channelWidthBits = 32;
+    c.burstLength = 16;
+    c.tCAS = 24;
+    c.tRCD = 24;
+    c.tRP = 24;
+    c.tRAS = 53;
+    c.ioDelayCycles = 10;
+    c.turnaroundCycles = 4;
+    return c;
+}
+
+DramConfig
+hbm_102()
+{
+    DramConfig c;
+    c.name = "hbm-102.4";
+    c.channels = 4;
+    c.ranksPerChannel = 1;
+    c.banksPerRank = 16;
+    c.rowBufferBytes = 2 * kKiB;
+    c.freqMHz = 800;
+    c.ddr = true;
+    c.channelWidthBits = 128;
+    c.burstLength = 4;
+    c.tCAS = 10;
+    c.tRCD = 10;
+    c.tRP = 10;
+    c.tRAS = 26;
+    c.ioDelayCycles = 0;
+    c.turnaroundCycles = 2;
+    return c;
+}
+
+DramConfig
+hbm_128()
+{
+    DramConfig c = hbm_102();
+    c.name = "hbm-128";
+    c.freqMHz = 1000;
+    c.tCAS = 12;
+    c.tRCD = 12;
+    c.tRP = 12;
+    c.tRAS = 32;
+    return c;
+}
+
+DramConfig
+hbm_205()
+{
+    DramConfig c = hbm_102();
+    c.name = "hbm-204.8";
+    c.channels = 8;
+    return c;
+}
+
+DramConfig
+edram_dir_51()
+{
+    DramConfig c;
+    c.name = "edram-51.2";
+    c.channels = 2;
+    c.ranksPerChannel = 1;
+    c.banksPerRank = 16;
+    c.rowBufferBytes = 2 * kKiB;
+    c.freqMHz = 800;
+    c.ddr = true;
+    c.channelWidthBits = 128;
+    c.burstLength = 4;
+    // ~2/3 of the main memory page-hit latency (paper Section VI-C).
+    c.tCAS = 8;
+    c.tRCD = 8;
+    c.tRP = 8;
+    c.tRAS = 22;
+    c.ioDelayCycles = 0;
+    // Separate read/write channel sets: no direction turnaround.
+    c.turnaroundCycles = 0;
+    return c;
+}
+
+} // namespace dapsim::presets

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Device presets matching the paper's Section V configurations.
+ */
+
+#ifndef DAPSIM_DRAM_PRESETS_HH
+#define DAPSIM_DRAM_PRESETS_HH
+
+#include "dram/dram_config.hh"
+
+namespace dapsim::presets
+{
+
+/** Dual-channel DDR4-2400 15-15-15-39, 38.4 GB/s (default main memory). */
+DramConfig ddr4_2400();
+
+/** DDR4-2400 with the board/floorplan I/O delay removed (Fig 9). */
+DramConfig ddr4_2400_no_io();
+
+/** Dual-channel DDR4-3200 20-20-20-52, 51.2 GB/s (Fig 9 / 16-core MM). */
+DramConfig ddr4_3200();
+
+/** Quad-channel 32-bit LPDDR4-2400 24-24-24-53, 38.4 GB/s (Fig 9). */
+DramConfig lpddr4_2400();
+
+/** HBM DRAM cache array: 4×128-bit @800 MHz, 102.4 GB/s (default MS$). */
+DramConfig hbm_102();
+
+/** HBM at 128 GB/s: 1 GHz, 12-12-12-32 (Fig 10). */
+DramConfig hbm_128();
+
+/** HBM at 204.8 GB/s: 8 channels @800 MHz (Fig 10 / 16-core MS$). */
+DramConfig hbm_205();
+
+/** One direction of the sectored eDRAM cache: 51.2 GB/s. */
+DramConfig edram_dir_51();
+
+} // namespace dapsim::presets
+
+#endif // DAPSIM_DRAM_PRESETS_HH

@@ -1,0 +1,289 @@
+#include "memside/alloy_cache.hh"
+
+namespace dapsim
+{
+
+/** Coordinates the TAD fetch with a predicted-miss early memory read. */
+struct AlloyReadState
+{
+    bool earlyRead = false; ///< memory read launched in parallel
+    bool memDone = false;
+    bool needMem = false;   ///< resolved to a miss (or IFRM)
+    bool completed = false;
+    MemSideCache::Done done;
+
+    void
+    complete()
+    {
+        if (!completed && done) {
+            completed = true;
+            done();
+        }
+    }
+};
+
+AlloyCache::AlloyCache(EventQueue &eq, DramSystem &main_memory,
+                       PartitionPolicy &policy,
+                       const AlloyCacheConfig &cfg)
+    : MemSideCache(eq, main_memory, policy), cfg_(cfg),
+      array_(eq, cfg.array), dir_(cfg.numSets(), 1, ReplPolicy::LRU),
+      dbc_(cfg.dbc), predictor_(cfg.predictorEntries, 3)
+{
+}
+
+double
+AlloyCache::effectivePeakAccPerCycle() const
+{
+    const double data_clocks =
+        cfg_.array.ddr ? (cfg_.array.burstLength + 1) / 2
+                       : cfg_.array.burstLength;
+    const double tad_clocks = data_clocks + cfg_.tadExtraClocks;
+    return cfg_.array.peakAccessesPerCpuCycle() * data_clocks /
+           tad_clocks;
+}
+
+bool
+AlloyCache::predictHit(Addr a) const
+{
+    // Region-hash (4 KB) indexed 2-bit counters; >= 2 predicts hit.
+    const std::uint64_t region = a >> 12;
+    const std::size_t i = static_cast<std::size_t>(
+        (region * 0x9e3779b97f4a7c15ULL) >> 32) % predictor_.size();
+    return predictor_[i] >= 2;
+}
+
+void
+AlloyCache::trainPredictor(Addr a, bool hit)
+{
+    const std::uint64_t region = a >> 12;
+    const std::size_t i = static_cast<std::size_t>(
+        (region * 0x9e3779b97f4a7c15ULL) >> 32) % predictor_.size();
+    if (hit) {
+        if (predictor_[i] < 3)
+            ++predictor_[i];
+    } else if (predictor_[i] > 0) {
+        --predictor_[i];
+    }
+}
+
+void
+AlloyCache::handleRead(Addr addr, Done done)
+{
+    window_.lookups++;
+    const std::uint64_t set = setOf(addr);
+
+    if (policy_.isSetDisabled(set)) {
+        readMisses.inc();
+        window_.aMm++;
+        mm_.access(addr, false, std::move(done));
+        return;
+    }
+
+    SteerInfo steer;
+    steer.expectedCacheLatency = static_cast<double>(
+        array_.totalReadQueue() + 1) * static_cast<double>(
+        cfg_.array.burstTicks()) + array_.meanReadLatency();
+    steer.expectedMemLatency = static_cast<double>(
+        mm_.totalReadQueue() + 1) * static_cast<double>(
+        mm_.config().burstTicks()) + mm_.meanReadLatency();
+    steer.predictedHit = predictHit(addr);
+    if (policy_.steerToMemory(addr, steer)) {
+        const Line *l = dir_.find(set, tagOf(addr));
+        if (l == nullptr || !l->dirty) {
+            mm_.access(addr, false, std::move(done));
+            return;
+        }
+    }
+
+    // IFRM: the DBC tells us (after a 5-cycle SRAM probe, charged as
+    // pure latency) whether the addressed line is known clean. The DBC
+    // is keyed by block address so that spatially adjacent lines share
+    // entries (hashed set indices would scatter the paper's
+    // 64-consecutive-sets grouping).
+    const DirtyBitCache::Probe probe = dbc_.probe(blockNumber(addr));
+    if (probe.hit && !probe.dirty && policy_.shouldForceReadMiss(addr)) {
+        forcedReadMisses.inc();
+        window_.aMs++; // the TAD read this access would have demanded
+        const Line *l = dir_.find(set, tagOf(addr));
+        if (l != nullptr) {
+            readHits.inc();
+            window_.hits++;
+            cleanReadHits.inc();
+            window_.cleanHits++;
+        } else {
+            // The line was absent: the fill is bypassed implicitly.
+            readMisses.inc();
+            window_.aMm++;
+            fillsBypassed.inc();
+        }
+        trainPredictor(addr, l != nullptr);
+        mm_.access(addr, false, std::move(done));
+        return;
+    }
+
+    auto st = std::make_shared<AlloyReadState>();
+    st->done = std::move(done);
+
+    // Predicted miss: start miss handling early.
+    if (!predictHit(addr)) {
+        st->earlyRead = true;
+        earlyMissReads.inc();
+        mm_.access(addr, false, [st] {
+            st->memDone = true;
+            if (st->needMem)
+                st->complete();
+        });
+    }
+
+    window_.aMs++; // TAD read
+    array_.access(tadAddr(set), false,
+                  [this, addr, st] { resolveRead(addr, st); },
+                  cfg_.tadExtraClocks);
+}
+
+void
+AlloyCache::resolveRead(Addr addr, std::shared_ptr<AlloyReadState> st)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *l = dir_.find(set, tag);
+    const bool hit = l != nullptr;
+    policy_.noteReadOutcome(addr, hit);
+    trainPredictor(addr, hit);
+    if (hit == !st->earlyRead)
+        predictorHits.inc();
+    else
+        predictorMisses.inc();
+
+    if (hit) {
+        readHits.inc();
+        window_.hits++;
+        if (!l->dirty) {
+            cleanReadHits.inc();
+            window_.cleanHits++;
+        }
+        dbc_.update(blockNumber(addr), l->dirty);
+        if (st->earlyRead)
+            wastedEarlyReads.inc(); // speculative memory read dropped
+        st->complete(); // data arrived with the TAD
+        return;
+    }
+
+    // Miss.
+    readMisses.inc();
+    window_.aMm++;
+    if (st->earlyRead) {
+        st->needMem = true;
+        if (st->memDone)
+            st->complete();
+    } else {
+        mm_.access(addr, false, [st] { st->complete(); });
+    }
+    fill(addr);
+}
+
+void
+AlloyCache::fill(Addr addr)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+
+    if (policy_.shouldBypassFillForReuse(addr)) {
+        fillsBypassed.inc();
+        return;
+    }
+
+    // The victim's data came back with the lookup TAD, so a dirty
+    // victim needs only the memory write.
+    auto victim = dir_.insert(set, tag, Line{});
+    if (victim.valid && victim.value.dirty) {
+        window_.aMm++;
+        dirtyWritebacks.inc();
+        const Addr vaddr = victim.tag << kBlockShift;
+        mm_.access(vaddr, true);
+    }
+
+    fills.inc();
+    window_.aMs++; // fill TAD write
+    dbc_.update(blockNumber(addr), false);
+    array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
+}
+
+void
+AlloyCache::warmTouch(Addr addr, bool is_write)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *l = dir_.find(set, tag);
+    if (l == nullptr) {
+        dir_.insert(set, tag, Line{}); // direct-mapped: replaces victim
+        l = dir_.find(set, tag);
+    }
+    if (is_write)
+        l->dirty = true;
+    dbc_.update(blockNumber(addr), l->dirty);
+    trainPredictor(addr, true);
+}
+
+void
+AlloyCache::handleWrite(Addr addr)
+{
+    window_.lookups++;
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+
+    if (policy_.isSetDisabled(set)) {
+        writeMisses.inc();
+        mm_.access(addr, true);
+        return;
+    }
+
+    policy_.noteWrite(addr);
+    window_.writes++;
+
+    Line *l = dir_.find(set, tag);
+    const bool present = l != nullptr;
+
+    if (!present && !cfg_.presenceBit) {
+        // Without the BEAR presence bit the TAD must be fetched to
+        // discover the absence.
+        window_.aMs++;
+        array_.access(tadAddr(set), false, nullptr, cfg_.tadExtraClocks);
+    }
+
+    if (present) {
+        writeHits.inc();
+        window_.hits++;
+        window_.aMs++;
+        const bool write_through = policy_.shouldWriteThrough(addr);
+        l->dirty = !write_through;
+        dbc_.update(blockNumber(addr), l->dirty);
+        array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
+        if (write_through)
+            mm_.access(addr, true);
+        return;
+    }
+
+    // Write miss: allocate over the victim. The victim's dirty state
+    // must be discovered via a TAD fetch before it can be replaced.
+    writeMisses.inc();
+    window_.aMs++;
+    array_.access(tadAddr(set), false, nullptr, cfg_.tadExtraClocks);
+    auto victim = dir_.insert(set, tag, Line{});
+    if (victim.valid && victim.value.dirty) {
+        window_.aMm++;
+        dirtyWritebacks.inc();
+        const Addr vaddr = victim.tag << kBlockShift;
+        mm_.access(vaddr, true);
+    }
+    Line *nl = dir_.find(set, tag);
+    const bool write_through = policy_.shouldWriteThrough(addr);
+    nl->dirty = !write_through;
+    dbc_.update(blockNumber(addr), nl->dirty);
+    window_.aMs++;
+    array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
+    if (write_through)
+        mm_.access(addr, true);
+}
+
+} // namespace dapsim

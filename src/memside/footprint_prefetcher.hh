@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Footprint prefetcher for sectored memory-side caches.
+ *
+ * On a sector allocation, only the blocks predicted to be used are
+ * fetched from main memory (Jevdjic et al., the paper's reference
+ * [26]). The predictor remembers the used-block bitmap observed during
+ * a sector's previous residency in a direct-mapped history table.
+ */
+
+#ifndef DAPSIM_MEMSIDE_FOOTPRINT_PREFETCHER_HH
+#define DAPSIM_MEMSIDE_FOOTPRINT_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+struct FootprintConfig
+{
+    std::size_t tableEntries = 65536; ///< direct-mapped history table
+    /** Blocks fetched around the demand block when no history exists. */
+    std::uint32_t coldRunLength = 8;
+    bool enabled = true;
+};
+
+/** Per-sector footprint history predictor. */
+class FootprintPrefetcher
+{
+  public:
+    explicit FootprintPrefetcher(const FootprintConfig &cfg,
+                                 std::uint32_t blocks_per_sector);
+
+    /**
+     * Predict the block mask to fetch for a sector being allocated on a
+     * demand access to block @p demand_blk. Always includes the demand
+     * block.
+     */
+    std::uint64_t predict(std::uint64_t sector_number,
+                          std::uint32_t demand_blk);
+
+    /** Record the used-block mask when a sector is evicted. */
+    void recordEviction(std::uint64_t sector_number,
+                        std::uint64_t used_mask);
+
+    Counter predictions;
+    Counter historyHits;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = ~std::uint64_t(0);
+        std::uint64_t mask = 0;
+    };
+
+    std::size_t indexOf(std::uint64_t sector_number) const;
+
+    FootprintConfig cfg_;
+    std::uint32_t blocksPerSector_;
+    std::vector<Entry> table_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_MEMSIDE_FOOTPRINT_PREFETCHER_HH

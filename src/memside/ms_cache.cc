@@ -1,0 +1,46 @@
+#include "memside/ms_cache.hh"
+
+namespace dapsim
+{
+
+MemSideCache::MemSideCache(EventQueue &eq, DramSystem &main_memory,
+                           PartitionPolicy &policy)
+    : eq_(eq), mm_(main_memory), policy_(policy)
+{
+}
+
+MemSideCache::~MemSideCache() = default;
+
+void
+MemSideCache::startWindows(Cycle window_cycles)
+{
+    if (windowsRunning_)
+        return;
+    windowsRunning_ = true;
+    windowCycles_ = window_cycles;
+    eq_.scheduleAfter(cpuCyclesToTicks(windowCycles_),
+                      [this] { windowTick(); });
+}
+
+void
+MemSideCache::stopWindows()
+{
+    windowsRunning_ = false;
+}
+
+void
+MemSideCache::windowTick()
+{
+    if (!windowsRunning_)
+        return;
+    policy_.beginWindow(window_);
+    window_ = WindowCounters{};
+    for (Addr page : policy_.collectCleaningRequests())
+        cleanRegion(page);
+    for (std::uint64_t set : policy_.collectSetsToFlush())
+        flushSetImpl(set);
+    eq_.scheduleAfter(cpuCyclesToTicks(windowCycles_),
+                      [this] { windowTick(); });
+}
+
+} // namespace dapsim

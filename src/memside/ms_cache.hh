@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Base class for memory-side cache (MS$) controllers.
+ *
+ * Owns the pieces every architecture shares: the main-memory handle,
+ * the partitioning policy, the per-window demand counters that feed
+ * DAP's learning loop, and the common hit/miss statistics the paper
+ * reports (read+write hit ratio, CAS fractions, fill/bypass counts).
+ */
+
+#ifndef DAPSIM_MEMSIDE_MS_CACHE_HH
+#define DAPSIM_MEMSIDE_MS_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+#include "policies/partition_policy.hh"
+
+namespace dapsim
+{
+
+/** Abstract memory-side cache controller. */
+class MemSideCache
+{
+  public:
+    /** Completion callback for reads (writes are posted). */
+    using Done = std::function<void()>;
+
+    MemSideCache(EventQueue &eq, DramSystem &main_memory,
+                 PartitionPolicy &policy);
+    virtual ~MemSideCache();
+
+    MemSideCache(const MemSideCache &) = delete;
+    MemSideCache &operator=(const MemSideCache &) = delete;
+
+    /** A read (L3 read miss) arriving from the SRAM hierarchy. */
+    virtual void handleRead(Addr addr, Done done) = 0;
+
+    /** A write (L3 dirty eviction) arriving from the SRAM hierarchy. */
+    virtual void handleWrite(Addr addr) = 0;
+
+    /** Number of 64B CAS operations the cache array has performed. */
+    virtual std::uint64_t arrayCasOps() const = 0;
+
+    /** Write back dirty blocks of a region and mark them clean (SBD
+     *  forced cleaning). Default: no-op. */
+    virtual void cleanRegion(Addr) {}
+
+    /** Flush and invalidate a set (BATMAN disabling). Default: no-op. */
+    virtual void flushSetImpl(std::uint64_t) {}
+
+    /**
+     * Functional warm-up touch: update directories (and tag cache /
+     * footprint history) with zero timing and zero statistics, so a
+     * short timed measurement starts from a steady-state cache.
+     */
+    virtual void warmTouch(Addr, bool /*is_write*/) {}
+
+    /**
+     * Start the recurring W-cycle window that feeds demand counters to
+     * the policy. Idempotent; stopWindows() halts it (so the event
+     * queue can drain at the end of a run).
+     */
+    void startWindows(Cycle window_cycles);
+    void stopWindows();
+
+    DramSystem &mainMemory() { return mm_; }
+    PartitionPolicy &policy() { return policy_; }
+
+    /** Read+write hit ratio (the paper's combined hit rate). */
+    double
+    hitRatio() const
+    {
+        const std::uint64_t h = readHits.value() + writeHits.value();
+        const std::uint64_t t = h + readMisses.value() +
+                                writeMisses.value();
+        return t ? static_cast<double>(h) / static_cast<double>(t) : 0.0;
+    }
+
+    double
+    readMissRatio() const
+    {
+        const std::uint64_t t = readHits.value() + readMisses.value();
+        return t ? static_cast<double>(readMisses.value()) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    /** Fraction of all CAS ops (MM + array) served by main memory. */
+    double
+    mainMemoryCasFraction() const
+    {
+        const std::uint64_t mm = mm_.casOps();
+        const std::uint64_t total = mm + arrayCasOps();
+        return total ? static_cast<double>(mm) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    // Common statistics (architecture code updates these).
+    Counter readHits;
+    Counter readMisses;
+    Counter writeHits;
+    Counter writeMisses;
+    Counter cleanReadHits;
+    Counter fills;
+    Counter fillsBypassed;
+    Counter writesBypassed;
+    Counter forcedReadMisses;   ///< IFRM applications
+    Counter speculativeReads;   ///< SFRM issues
+    Counter speculativeWasted;  ///< SFRM responses dropped (dirty hits)
+    Counter sectorEvictions;
+    Counter dirtyWritebacks;    ///< dirty blocks written to main memory
+
+  protected:
+    /** Demand counters being accumulated for the current window. */
+    WindowCounters window_;
+
+    EventQueue &eq_;
+    DramSystem &mm_;
+    PartitionPolicy &policy_;
+
+  private:
+    void windowTick();
+
+    bool windowsRunning_ = false;
+    Cycle windowCycles_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_MEMSIDE_MS_CACHE_HH

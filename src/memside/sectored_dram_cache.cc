@@ -1,0 +1,457 @@
+#include "memside/sectored_dram_cache.hh"
+
+namespace dapsim
+{
+
+/** Shared state coordinating an SFRM memory read with the tag fetch. */
+struct SfrmState
+{
+    bool active = false;     ///< SFRM read was launched
+    bool memDone = false;    ///< MM response arrived
+    bool missOrClean = false;///< tag state resolved to miss/clean hit
+    bool dirtyHit = false;   ///< tag state resolved to dirty hit
+    MemSideCache::Done done; ///< CPU completion (fired exactly once)
+    bool completed = false;
+
+    void
+    complete()
+    {
+        if (!completed && done) {
+            completed = true;
+            done();
+        }
+    }
+};
+
+SectoredDramCache::SectoredDramCache(EventQueue &eq,
+                                     DramSystem &main_memory,
+                                     PartitionPolicy &policy,
+                                     const SectoredDramCacheConfig &cfg)
+    : MemSideCache(eq, main_memory, policy), cfg_(cfg),
+      array_(eq, cfg.array),
+      dir_(cfg.numSets(), cfg.ways, ReplPolicy::NRU),
+      tagCache_(cfg.tagCache),
+      footprint_(cfg.footprint, cfg.blocksPerSector())
+{
+}
+
+Addr
+SectoredDramCache::dataAddr(std::uint64_t sec, std::uint32_t blk) const
+{
+    // A sector occupies the frame (set, sec mod ways): blocks of a
+    // sector share a DRAM row neighbourhood and the set's metadata is
+    // co-located with its frames (as real sectored DRAM caches do).
+    const std::uint64_t frame =
+        setOf(sec) * cfg_.ways + (sec % cfg_.ways);
+    return frame * cfg_.sectorBytes +
+           static_cast<Addr>(blk) * kBlockBytes;
+}
+
+Addr
+SectoredDramCache::metaAddr(std::uint64_t set) const
+{
+    // Metadata lives alongside the set's first frame, sharing its row.
+    return set * cfg_.ways * cfg_.sectorBytes;
+}
+
+void
+SectoredDramCache::markMetaDirty(std::uint64_t set)
+{
+    if (cfg_.tagCache.enabled) {
+        tagCache_.markDirty(set);
+    } else {
+        issueMetaWrite(set);
+    }
+}
+
+void
+SectoredDramCache::issueMetaWrite(std::uint64_t set)
+{
+    window_.aMs++;
+    array_.access(metaAddr(set), true);
+}
+
+void
+SectoredDramCache::lookupTags(Addr addr, bool is_read,
+                              std::function<void()> next,
+                              std::shared_ptr<SfrmState> sfrm)
+{
+    const std::uint64_t set = setOf(sectorNumber(addr));
+    const TagCache::LookupResult tc = tagCache_.access(set);
+    if (tc.writebackNeeded)
+        issueMetaWrite(set);
+
+    if (tc.hit) {
+        eq_.scheduleAfter(cpuCyclesToTicks(cfg_.tagCache.lookupCycles),
+                          std::move(next));
+        return;
+    }
+
+    // Metadata must be fetched from the DRAM array.
+    window_.aMs++;
+    if (is_read && sfrm && policy_.shouldSpeculateToMemory(addr)) {
+        // SFRM: launch the memory read in parallel with the tag fetch.
+        sfrm->active = true;
+        speculativeReads.inc();
+        mm_.access(addr, false, [sfrm] {
+            sfrm->memDone = true;
+            if (sfrm->missOrClean)
+                sfrm->complete();
+            // A dirty hit drops this response (bandwidth wasted).
+        });
+    }
+    array_.access(metaAddr(set), false, std::move(next));
+}
+
+void
+SectoredDramCache::handleRead(Addr addr, Done done)
+{
+    window_.lookups++;
+    const std::uint64_t set = setOf(sectorNumber(addr));
+
+    if (policy_.isSetDisabled(set)) {
+        // BATMAN: disabled sets are served straight from memory.
+        readMisses.inc();
+        window_.aMm++;
+        mm_.access(addr, false, std::move(done));
+        return;
+    }
+
+    SteerInfo steer;
+    steer.expectedCacheLatency = static_cast<double>(
+        array_.totalReadQueue() + 1) * static_cast<double>(
+        cfg_.array.burstTicks()) + array_.meanReadLatency();
+    steer.expectedMemLatency = static_cast<double>(
+        mm_.totalReadQueue() + 1) * static_cast<double>(
+        mm_.config().burstTicks()) + mm_.meanReadLatency();
+    if (policy_.steerToMemory(addr, steer)) {
+        // SBD: serve from memory unless the block is dirty here.
+        const std::uint64_t sec = sectorNumber(addr);
+        const SectorMeta *m = dir_.find(set, tagOf(sec));
+        if (m == nullptr || !m->isDirty(blkOf(addr))) {
+            steeredToMemory.inc();
+            mm_.access(addr, false, std::move(done));
+            return;
+        }
+        steerOverridden.inc();
+    }
+
+    auto sfrm = std::make_shared<SfrmState>();
+    sfrm->done = std::move(done);
+    lookupTags(addr, true,
+               [this, addr, sfrm] { resolveRead(addr, sfrm); },
+               sfrm);
+}
+
+void
+SectoredDramCache::resolveRead(Addr addr, std::shared_ptr<SfrmState> sfrm)
+{
+    const std::uint64_t sec = sectorNumber(addr);
+    const std::uint64_t set = setOf(sec);
+    const std::uint64_t tag = tagOf(sec);
+    const std::uint32_t blk = blkOf(addr);
+
+    SectorMeta *m = dir_.find(set, tag);
+    policy_.noteReadOutcome(addr, m != nullptr && m->isValid(blk));
+    if (m != nullptr && m->isValid(blk)) {
+        // Read hit.
+        readHits.inc();
+        window_.hits++;
+        window_.aMs++; // data-read demand on the cache
+        dir_.touch(set, tag);
+        m->touch(blk);
+        const bool clean = !m->isDirty(blk);
+        if (clean) {
+            cleanReadHits.inc();
+            window_.cleanHits++;
+        }
+
+        if (sfrm->active) {
+            if (clean) {
+                // SFRM already fetched the data from memory; use it.
+                sfrm->missOrClean = true;
+                if (sfrm->memDone)
+                    sfrm->complete();
+                return;
+            }
+            // Dirty hit: the memory response must be dropped and the
+            // data read from the cache (wasted memory bandwidth).
+            sfrm->dirtyHit = true;
+            speculativeWasted.inc();
+            array_.access(dataAddr(sec, blk), false,
+                          [sfrm] { sfrm->complete(); });
+            return;
+        }
+
+        if (clean && policy_.shouldForceReadMiss(addr)) {
+            // IFRM: serve the clean hit from main memory.
+            forcedReadMisses.inc();
+            mm_.access(addr, false, [sfrm] { sfrm->complete(); });
+            return;
+        }
+        array_.access(dataAddr(sec, blk), false,
+                      [sfrm] { sfrm->complete(); });
+        return;
+    }
+
+    // Read miss (sector absent, or block invalid within the sector).
+    readMisses.inc();
+    window_.aMm++;
+
+    bool fill;
+    if (m != nullptr) {
+        // Block miss within a resident sector.
+        dir_.touch(set, tag);
+        m->touch(blk);
+        fill = launchFill(sec, blk);
+    } else {
+        fill = allocateSector(addr, sec, blk);
+    }
+
+    if (sfrm->active) {
+        // The SFRM read doubles as the demand fetch.
+        if (fill)
+            array_.access(dataAddr(sec, blk), true);
+        sfrm->missOrClean = true;
+        if (sfrm->memDone)
+            sfrm->complete();
+    } else {
+        mm_.access(addr, false, [this, sec, blk, fill, sfrm] {
+            if (fill)
+                array_.access(dataAddr(sec, blk), true);
+            sfrm->complete();
+        });
+    }
+}
+
+bool
+SectoredDramCache::launchFill(std::uint64_t sec, std::uint32_t blk)
+{
+    // One prospective fill: the FWB decision is made at launch so the
+    // directory is updated immediately (no duplicate in-flight misses);
+    // the array write bandwidth is charged when the data arrives.
+    window_.readMisses++; // fill candidate (R_m)
+    window_.aMs++;        // prospective fill-write demand
+    const std::uint64_t set = setOf(sec);
+    SectorMeta *m = dir_.find(set, tagOf(sec));
+    if (m == nullptr)
+        return false;
+    const Addr addr = sec * cfg_.sectorBytes +
+                      static_cast<Addr>(blk) * kBlockBytes;
+    if (policy_.shouldBypassFill(addr)) {
+        fillsBypassed.inc();
+        return false;
+    }
+    fills.inc();
+    m->setValid(blk);
+    markMetaDirty(set);
+    return true;
+}
+
+void
+SectoredDramCache::writebackVictim(std::uint64_t set,
+                                   std::uint64_t victim_tag,
+                                   const SectorMeta &meta)
+{
+    sectorEvictions.inc();
+    const std::uint64_t vsec = sectorNumberFrom(set, victim_tag);
+    footprint_.recordEviction(vsec, meta.touchedMask);
+    for (std::uint32_t b = 0; b < cfg_.blocksPerSector(); ++b) {
+        if (!meta.isDirty(b))
+            continue;
+        // Dirty block: read it out of the array, then write to memory.
+        window_.aMs++; // eviction read demand
+        window_.aMm++; // write-back demand
+        const Addr waddr = vsec * cfg_.sectorBytes +
+                           static_cast<Addr>(b) * kBlockBytes;
+        array_.access(dataAddr(vsec, b), false, [this, waddr] {
+            dirtyWritebacks.inc();
+            mm_.access(waddr, true);
+        });
+    }
+}
+
+bool
+SectoredDramCache::allocateSector(Addr addr, std::uint64_t sec,
+                                  std::uint32_t blk)
+{
+    (void)addr;
+    const std::uint64_t set = setOf(sec);
+    const std::uint64_t tag = tagOf(sec);
+
+    const std::uint64_t mask = footprint_.predict(sec, blk);
+
+    auto victim = dir_.insert(set, tag, SectorMeta{});
+    if (victim.valid)
+        writebackVictim(set, victim.tag, victim.value);
+    markMetaDirty(set);
+    dir_.find(set, tag)->touch(blk);
+
+    // Fetch the predicted footprint; the demand block's memory read is
+    // issued by the caller (which also charges its fill write).
+    bool demand_fill = false;
+    for (std::uint32_t b = 0; b < cfg_.blocksPerSector(); ++b) {
+        if ((mask & (1ULL << b)) == 0)
+            continue;
+        const bool fill = launchFill(sec, b);
+        if (b == blk) {
+            demand_fill = fill;
+            continue;
+        }
+        if (!fill)
+            continue; // bypassed prefetch: skip the memory fetch too
+        window_.aMm++;
+        const Addr baddr = sec * cfg_.sectorBytes +
+                           static_cast<Addr>(b) * kBlockBytes;
+        mm_.access(baddr, false, [this, sec, b] {
+            array_.access(dataAddr(sec, b), true);
+        }, 0, /*low_priority=*/true);
+    }
+    return demand_fill;
+}
+
+void
+SectoredDramCache::handleWrite(Addr addr)
+{
+    window_.lookups++;
+    const std::uint64_t sec = sectorNumber(addr);
+    const std::uint64_t set = setOf(sec);
+    const std::uint64_t tag = tagOf(sec);
+    const std::uint32_t blk = blkOf(addr);
+
+    if (policy_.isSetDisabled(set)) {
+        writeMisses.inc();
+        mm_.access(addr, true);
+        return;
+    }
+
+    policy_.noteWrite(addr);
+    window_.aMs++;   // write demand on the cache
+    window_.writes++;
+
+    // Writes are posted: tag lookup bandwidth is charged, but the
+    // directory is updated immediately (metadata pipelining).
+    lookupTags(addr, false, [] {}, nullptr);
+
+    SectorMeta *m = dir_.find(set, tag);
+    if (m != nullptr) {
+        writeHits.inc();
+        window_.hits++;
+        dir_.touch(set, tag);
+        m->touch(blk);
+        if (policy_.shouldBypassWrite(addr)) {
+            writesBypassed.inc();
+            mm_.access(addr, true);
+            // The stale cached copy must be invalidated.
+            if (m->isValid(blk)) {
+                m->clearBlock(blk);
+                markMetaDirty(set);
+            }
+            return;
+        }
+        m->setDirty(blk);
+        markMetaDirty(set);
+        array_.access(dataAddr(sec, blk), true);
+        if (policy_.shouldWriteThrough(addr)) {
+            // SBD write-through mode: memory stays current, line clean.
+            mm_.access(addr, true);
+            m->clearBlock(blk);
+            m->setValid(blk);
+            markMetaDirty(set);
+        }
+        return;
+    }
+
+    // Sector miss: write-allocate (no data fetch; full-block writes).
+    writeMisses.inc();
+    if (policy_.shouldBypassWrite(addr)) {
+        writesBypassed.inc();
+        mm_.access(addr, true);
+        return;
+    }
+    auto victim = dir_.insert(set, tag, SectorMeta{});
+    if (victim.valid)
+        writebackVictim(set, victim.tag, victim.value);
+    markMetaDirty(set);
+    SectorMeta *nm = dir_.find(set, tag);
+    nm->touch(blk);
+    if (policy_.shouldWriteThrough(addr)) {
+        mm_.access(addr, true);
+        nm->setValid(blk);
+    } else {
+        nm->setDirty(blk);
+    }
+    array_.access(dataAddr(sec, blk), true);
+}
+
+void
+SectoredDramCache::warmTouch(Addr addr, bool is_write)
+{
+    const std::uint64_t sec = sectorNumber(addr);
+    const std::uint64_t set = setOf(sec);
+    const std::uint64_t tag = tagOf(sec);
+    const std::uint32_t blk = blkOf(addr);
+
+    tagCache_.access(set); // warm the tag cache (stats reset later)
+
+    SectorMeta *m = dir_.find(set, tag);
+    if (m == nullptr) {
+        const std::uint64_t mask = footprint_.predict(sec, blk);
+        auto victim = dir_.insert(set, tag, SectorMeta{});
+        if (victim.valid)
+            footprint_.recordEviction(
+                sectorNumberFrom(set, victim.tag),
+                victim.value.touchedMask);
+        m = dir_.find(set, tag);
+        m->validMask = mask;
+    }
+    dir_.touch(set, tag);
+    m->touch(blk);
+    if (is_write)
+        m->setDirty(blk);
+    else
+        m->setValid(blk);
+}
+
+bool
+SectoredDramCache::isBlockResident(Addr addr) const
+{
+    const std::uint64_t sec = sectorNumber(addr);
+    const SectorMeta *m = dir_.find(setOf(sec), tagOf(sec));
+    return m != nullptr && m->isValid(blkOf(addr));
+}
+
+void
+SectoredDramCache::cleanSector(Addr addr_in_sector)
+{
+    const std::uint64_t sec = sectorNumber(addr_in_sector);
+    const std::uint64_t set = setOf(sec);
+    SectorMeta *m = dir_.find(set, tagOf(sec));
+    if (m == nullptr || !m->anyDirty())
+        return;
+    for (std::uint32_t b = 0; b < cfg_.blocksPerSector(); ++b) {
+        if (!m->isDirty(b))
+            continue;
+        window_.aMs++;
+        window_.aMm++;
+        const Addr waddr = sec * cfg_.sectorBytes +
+                           static_cast<Addr>(b) * kBlockBytes;
+        array_.access(dataAddr(sec, b), false, [this, waddr] {
+            dirtyWritebacks.inc();
+            mm_.access(waddr, true);
+        });
+    }
+    m->dirtyMask = 0;
+    markMetaDirty(set);
+}
+
+void
+SectoredDramCache::flushSet(std::uint64_t set)
+{
+    dir_.flushSet(set, [this, set](std::uint64_t tag, SectorMeta &meta) {
+        writebackVictim(set, tag, meta);
+    });
+    markMetaDirty(set);
+}
+
+} // namespace dapsim

@@ -1,0 +1,68 @@
+#include "policies/batman.hh"
+
+#include <algorithm>
+
+namespace dapsim
+{
+
+BatmanPolicy::BatmanPolicy(const BatmanConfig &cfg) : cfg_(cfg) {}
+
+std::uint64_t
+BatmanPolicy::rankOf(std::uint64_t set) const
+{
+    // A multiplicative hash spreads the disabled sets across the index
+    // space (the paper notes contiguous disabling would miss the
+    // active region even more often).
+    return (set * 0x9e3779b97f4a7c15ULL) % cfg_.numSets;
+}
+
+bool
+BatmanPolicy::isSetDisabled(std::uint64_t set)
+{
+    return rankOf(set) < disabled_;
+}
+
+void
+BatmanPolicy::beginWindow(const WindowCounters &w)
+{
+    epochLookups_ += w.lookups;
+    epochHits_ += w.hits;
+    if (++windowCount_ % cfg_.epochWindows != 0)
+        return;
+    if (epochLookups_ == 0)
+        return;
+
+    const double hit_rate = static_cast<double>(epochHits_) /
+                            static_cast<double>(epochLookups_);
+    epochLookups_ = 0;
+    epochHits_ = 0;
+
+    const auto step = static_cast<std::uint64_t>(
+        std::max<double>(1.0, cfg_.stepFraction * cfg_.numSets));
+    const auto max_disabled = static_cast<std::uint64_t>(
+        cfg_.maxDisabledFraction * cfg_.numSets);
+
+    if (hit_rate > cfg_.targetHitRate + cfg_.hysteresis &&
+        disabled_ + step <= max_disabled) {
+        // Too many hits: disable more sets (they must be flushed).
+        for (std::uint64_t s = 0; s < cfg_.numSets; ++s)
+            if (rankOf(s) >= disabled_ && rankOf(s) < disabled_ + step)
+                pendingFlush_.push_back(s);
+        disabled_ += step;
+        adjustmentsUp.inc();
+    } else if (hit_rate < cfg_.targetHitRate - cfg_.hysteresis &&
+               disabled_ > 0) {
+        disabled_ = disabled_ > step ? disabled_ - step : 0;
+        adjustmentsDown.inc();
+    }
+}
+
+std::vector<std::uint64_t>
+BatmanPolicy::collectSetsToFlush()
+{
+    std::vector<std::uint64_t> out;
+    out.swap(pendingFlush_);
+    return out;
+}
+
+} // namespace dapsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * BATMAN: Bandwidth-Aware Tiered-Memory Management (Chou, Jaleel,
+ * Qureshi; TR-CARET-2015-01), as described in the paper's
+ * Section VI-A.4.
+ *
+ * BATMAN observes the MS$ hit rate and disables cache sets whenever the
+ * hit rate exceeds the target dictated by the bandwidth ratio
+ * (B_MS$ / (B_MS$ + B_MM)); accesses to disabled sets are served by
+ * main memory. Disabling a set flushes its dirty contents. Sets are
+ * re-enabled when the hit rate falls below target.
+ */
+
+#ifndef DAPSIM_POLICIES_BATMAN_HH
+#define DAPSIM_POLICIES_BATMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "policies/partition_policy.hh"
+
+namespace dapsim
+{
+
+struct BatmanConfig
+{
+    /** Total sets of the MS$ this policy manages. */
+    std::uint64_t numSets = 4096;
+    /** Target hit rate = B_MS$ / (B_MS$ + B_MM) (paper: ~0.73). */
+    double targetHitRate = 0.73;
+    double hysteresis = 0.04;
+    /** Evaluate and adjust every this many windows. */
+    std::uint64_t epochWindows = 2048;
+    /** Sets toggled per adjustment, as a fraction of all sets. */
+    double stepFraction = 1.0 / 128.0;
+    /** Maximum fraction of sets that may be disabled. */
+    double maxDisabledFraction = 0.25;
+};
+
+/** BATMAN policy. */
+class BatmanPolicy final : public PartitionPolicy
+{
+  public:
+    explicit BatmanPolicy(const BatmanConfig &cfg);
+
+    void beginWindow(const WindowCounters &w) override;
+    bool isSetDisabled(std::uint64_t set) override;
+    std::vector<std::uint64_t> collectSetsToFlush() override;
+    const char *name() const override { return "batman"; }
+
+    std::uint64_t disabledSets() const { return disabled_; }
+
+    Counter adjustmentsUp;
+    Counter adjustmentsDown;
+
+  private:
+    /** Hash-spread rank of a set in the disable order. */
+    std::uint64_t rankOf(std::uint64_t set) const;
+
+    BatmanConfig cfg_;
+    std::uint64_t disabled_ = 0;
+    std::uint64_t epochLookups_ = 0;
+    std::uint64_t epochHits_ = 0;
+    std::uint64_t windowCount_ = 0;
+    std::vector<std::uint64_t> pendingFlush_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_POLICIES_BATMAN_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * BEAR: Bandwidth-Efficient ARchitecture for DRAM caches (Chou, Jaleel,
+ * Qureshi, ISCA 2015) — the Alloy-cache baseline improvement the paper
+ * compares DAP against in Section VI-B.
+ *
+ * We model BEAR's two bandwidth-saving mechanisms that matter at this
+ * abstraction level:
+ *  - the DRAM-cache presence bit in the L3 that lets dirty evictions
+ *    skip the TAD fetch (enabled via AlloyCacheConfig::presenceBit and
+ *    also used by the paper's DAP configuration), and
+ *  - Bandwidth-Aware Bypass: fills to regions whose lines historically
+ *    see no reuse are probabilistically bypassed, preserving hit rate
+ *    while cutting fill bandwidth.
+ */
+
+#ifndef DAPSIM_POLICIES_BEAR_HH
+#define DAPSIM_POLICIES_BEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "policies/partition_policy.hh"
+
+namespace dapsim
+{
+
+struct BearConfig
+{
+    std::size_t reuseTableEntries = 4096;
+    /** Region granularity for reuse tracking (log2 bytes). */
+    unsigned regionShift = 12;
+    /** Bypass probability when the region shows no reuse. */
+    double bypassProbability = 0.9;
+    std::uint64_t rngSeed = 0xbea7;
+};
+
+/** BEAR policy (pairs with AlloyCache). */
+class BearPolicy final : public PartitionPolicy
+{
+  public:
+    explicit BearPolicy(const BearConfig &cfg);
+
+    bool shouldBypassFillForReuse(Addr addr) override;
+    void noteReadOutcome(Addr addr, bool hit) override;
+    const char *name() const override { return "bear"; }
+
+    Counter bypasses;
+
+  private:
+    std::size_t indexOf(Addr addr) const;
+
+    BearConfig cfg_;
+    /** 2-bit reuse confidence per region; >= 2 means "fills pay off". */
+    std::vector<std::uint8_t> reuse_;
+    Rng rng_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_POLICIES_BEAR_HH

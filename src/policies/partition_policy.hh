@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Access-partitioning policy interface.
+ *
+ * The memory-side cache controllers consult a PartitionPolicy at the
+ * paper's decision points: on fills (FWB), incoming L3 dirty evictions
+ * (WB), known-clean read hits (IFRM), read arrival before the tag state
+ * is known (SFRM), plus the hooks needed by the comparison proposals
+ * (set disabling for BATMAN, latency steering for SBD, fill filtering
+ * for BEAR). DAP, SBD, SBD-WT, BATMAN, BEAR and the no-op baseline all
+ * implement this interface, so every MS$ architecture can run under any
+ * policy.
+ */
+
+#ifndef DAPSIM_POLICIES_PARTITION_POLICY_HH
+#define DAPSIM_POLICIES_PARTITION_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+/** Per-window demand observed by the MS$ controller (previous window). */
+struct WindowCounters
+{
+    /** Accesses demanded of the MS$ (A_MS$): hits, fills, writes,
+     *  metadata fetches/updates and dirty-eviction reads. */
+    std::uint64_t aMs = 0;
+    /** Read-channel demand (eDRAM split channels). */
+    std::uint64_t aMsRead = 0;
+    /** Write-channel demand (eDRAM split channels). */
+    std::uint64_t aMsWrite = 0;
+    /** Accesses to the main memory (A_MM). */
+    std::uint64_t aMm = 0;
+    /** Read misses observed (== fill candidates, R_m). */
+    std::uint64_t readMisses = 0;
+    /** Writes (L3 dirty evictions) to the MS$ (W_m). */
+    std::uint64_t writes = 0;
+    /** Read hits to clean lines (IFRM candidates). */
+    std::uint64_t cleanHits = 0;
+    /** Demand lookups and hits (BATMAN's hit-rate tracking). */
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+};
+
+/** Queue/latency snapshot for latency-based steering (SBD). */
+struct SteerInfo
+{
+    double expectedCacheLatency = 0.0; ///< ticks
+    double expectedMemLatency = 0.0;   ///< ticks
+    bool predictedHit = true;
+    bool pageInDirtyList = false;
+};
+
+/** Base class: the no-op baseline keeps every default. */
+class PartitionPolicy
+{
+  public:
+    virtual ~PartitionPolicy() = default;
+
+    /** Called every W CPU cycles with the previous window's demand. */
+    virtual void beginWindow(const WindowCounters &) {}
+
+    /** FWB: drop this incoming read-miss fill? */
+    virtual bool shouldBypassFill(Addr) { return false; }
+
+    /** WB: steer this incoming L3 dirty eviction to main memory? */
+    virtual bool shouldBypassWrite(Addr) { return false; }
+
+    /** IFRM: serve this known-clean read hit from main memory? */
+    virtual bool shouldForceReadMiss(Addr) { return false; }
+
+    /** SFRM: issue this read to main memory before tag state is known? */
+    virtual bool shouldSpeculateToMemory(Addr) { return false; }
+
+    /** Opportunistic write-through (Alloy DAP, SBD clean-page mode). */
+    virtual bool shouldWriteThrough(Addr) { return false; }
+
+    /** BATMAN: is this MS$ set disabled? */
+    virtual bool isSetDisabled(std::uint64_t) { return false; }
+
+    /** SBD: steer this access to main memory based on latency? */
+    virtual bool steerToMemory(Addr, const SteerInfo &) { return false; }
+
+    /** BEAR: bypass this fill based on reuse prediction? */
+    virtual bool shouldBypassFillForReuse(Addr) { return false; }
+
+    /** Notification: a write to page was observed (SBD dirty list). */
+    virtual void noteWrite(Addr) {}
+
+    /** Notification: read resolved as hit/miss (BEAR reuse training). */
+    virtual void noteReadOutcome(Addr, bool /*hit*/) {}
+
+    /**
+     * SBD: pages that fell out of the Dirty List and must be cleaned.
+     * Pulled by the MS$ once per window; the MS$ performs the cleaning
+     * (reading dirty blocks out and writing them to main memory).
+     */
+    virtual std::vector<Addr> collectCleaningRequests() { return {}; }
+
+    /**
+     * BATMAN: sets that were just disabled and must be flushed. Pulled
+     * by the MS$ once per window.
+     */
+    virtual std::vector<std::uint64_t> collectSetsToFlush() { return {}; }
+
+    virtual const char *name() const { return "baseline"; }
+};
+
+/** The optimized baseline: tag cache only, no partitioning. */
+class BaselinePolicy final : public PartitionPolicy
+{
+  public:
+    const char *name() const override { return "baseline"; }
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_POLICIES_PARTITION_POLICY_HH

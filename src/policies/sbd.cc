@@ -1,0 +1,93 @@
+#include "policies/sbd.hh"
+
+namespace dapsim
+{
+
+SbdPolicy::SbdPolicy(const SbdConfig &cfg)
+    : cfg_(cfg), bloom_(cfg.bloomBuckets, cfg.bloomHashes)
+{
+}
+
+bool
+SbdPolicy::inDirtyList(Addr addr) const
+{
+    return dirtyMap_.find(pageOf(addr)) != dirtyMap_.end();
+}
+
+void
+SbdPolicy::insertDirtyPage(std::uint64_t page)
+{
+    auto it = dirtyMap_.find(page);
+    if (it != dirtyMap_.end()) {
+        dirtyLru_.splice(dirtyLru_.begin(), dirtyLru_, it->second);
+        return;
+    }
+    if (dirtyMap_.size() >= cfg_.dirtyListCapacity) {
+        const std::uint64_t victim = dirtyLru_.back();
+        dirtyLru_.pop_back();
+        dirtyMap_.erase(victim);
+        if (!cfg_.writeThroughOnly) {
+            // The page is no longer guaranteed clean in memory: force
+            // a cleaning pass (SBD's expensive maintenance).
+            pendingCleans_.push_back(victim * cfg_.pageBytes);
+            pagesCleaned.inc();
+        }
+    }
+    dirtyLru_.push_front(page);
+    dirtyMap_[page] = dirtyLru_.begin();
+}
+
+void
+SbdPolicy::noteWrite(Addr addr)
+{
+    const std::uint64_t page = pageOf(addr);
+    bloom_.insert(page);
+    if (bloom_.estimate(page) >= cfg_.writeThreshold)
+        insertDirtyPage(page);
+}
+
+bool
+SbdPolicy::shouldWriteThrough(Addr addr)
+{
+    // Pages outside the Dirty List are operated write-through so their
+    // main-memory copy stays current and reads can be steered freely.
+    return !inDirtyList(addr);
+}
+
+bool
+SbdPolicy::steerToMemory(Addr addr, const SteerInfo &info)
+{
+    if (inDirtyList(addr))
+        return false; // dirty pages must be served by the cache
+    bool steer;
+    if (!info.predictedHit)
+        steer = true; // expected miss: go straight to memory
+    else
+        steer = info.expectedMemLatency < info.expectedCacheLatency;
+    if (steer)
+        steersToMemory.inc();
+    return steer;
+}
+
+void
+SbdPolicy::beginWindow(const WindowCounters &)
+{
+    if (++windowCount_ % cfg_.decayWindows == 0) {
+        // Cheap decay: rebuild the filter from the Dirty List so stale
+        // write activity ages out.
+        bloom_.clear();
+        for (std::uint64_t page : dirtyLru_)
+            for (std::uint8_t i = 0; i < cfg_.writeThreshold; ++i)
+                bloom_.insert(page);
+    }
+}
+
+std::vector<Addr>
+SbdPolicy::collectCleaningRequests()
+{
+    std::vector<Addr> out;
+    out.swap(pendingCleans_);
+    return out;
+}
+
+} // namespace dapsim

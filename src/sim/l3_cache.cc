@@ -1,0 +1,87 @@
+#include "sim/l3_cache.hh"
+
+namespace dapsim
+{
+
+L3Cache::L3Cache(EventQueue &eq, const L3Config &cfg, MemSideCache &ms)
+    : eq_(eq), cfg_(cfg), ms_(ms),
+      dir_(cfg.numSets(), cfg.ways, ReplPolicy::LRU)
+{
+}
+
+void
+L3Cache::install(Addr addr, bool dirty)
+{
+    const std::uint64_t set = setOf(addr);
+    auto victim = dir_.insert(set, tagOf(addr), Line{dirty});
+    if (victim.valid && victim.value.dirty) {
+        writebacksToMs.inc();
+        const Addr vaddr = victim.tag << kBlockShift;
+        ms_.handleWrite(vaddr);
+    }
+}
+
+void
+L3Cache::warmTouch(Addr addr, bool is_write)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *l = dir_.find(set, tag);
+    if (l != nullptr) {
+        dir_.touch(set, tag);
+        if (is_write)
+            l->dirty = true;
+        return;
+    }
+    auto victim = dir_.insert(set, tag, Line{is_write});
+    if (victim.valid && victim.value.dirty) {
+        const Addr vaddr = victim.tag << kBlockShift;
+        ms_.warmTouch(vaddr, true);
+    }
+    if (!is_write)
+        ms_.warmTouch(addr, false);
+}
+
+void
+L3Cache::access(Addr addr, bool is_write, Done done)
+{
+    const std::uint64_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *l = dir_.find(set, tag);
+    const Tick lookup = cpuCyclesToTicks(cfg_.latencyCycles);
+
+    if (l != nullptr) {
+        hits.inc();
+        dir_.touch(set, tag);
+        if (is_write) {
+            l->dirty = true;
+        } else if (done) {
+            eq_.scheduleAfter(lookup, std::move(done));
+        }
+        return;
+    }
+
+    misses.inc();
+    if (is_write) {
+        // L2 writeback missing in the L3: allocate without a fetch
+        // (full-block write).
+        install(addr, true);
+        return;
+    }
+
+    readMisses.inc();
+    install(addr, false);
+    const Tick issued = eq_.now();
+    // The L3 lookup precedes the downstream access.
+    eq_.scheduleAfter(lookup, [this, addr, issued,
+                               done = std::move(done)]() mutable {
+        ms_.handleRead(addr, [this, issued, done = std::move(done)] {
+            readMissLatency.sample(
+                static_cast<double>(eq_.now() - issued));
+            if (done)
+                done();
+        });
+    });
+}
+
+} // namespace dapsim

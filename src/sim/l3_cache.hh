@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared inclusive L3 cache (paper Section V: 8 MB, 16-way, 20-cycle
+ * round trip; scaled to 1 MB by default).
+ *
+ * Functional set-associative directory with a fixed lookup latency.
+ * Read misses go down to the memory-side cache; dirty evictions become
+ * MS$ writes (the paper's "L4 cache writes"). Lines are installed at
+ * miss detection (MSHR coalescing idealized), which is the standard
+ * trace-driven approximation.
+ */
+
+#ifndef DAPSIM_SIM_L3_CACHE_HH
+#define DAPSIM_SIM_L3_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/assoc_cache.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "memside/ms_cache.hh"
+
+namespace dapsim
+{
+
+struct L3Config
+{
+    /** Scaled default: 1 MB stands in for the paper's 8 MB. */
+    std::uint64_t capacityBytes = 1 * kMiB;
+    std::uint32_t ways = 16;
+    /** Round-trip hit latency in CPU cycles. */
+    Cycle latencyCycles = 20;
+
+    std::uint64_t
+    numSets() const
+    {
+        return capacityBytes / kBlockBytes / ways;
+    }
+};
+
+/** The shared L3. */
+class L3Cache
+{
+  public:
+    using Done = std::function<void()>;
+
+    L3Cache(EventQueue &eq, const L3Config &cfg, MemSideCache &ms);
+
+    /**
+     * One access from a core: a read (L2 load miss) or a write (L2
+     * dirty writeback). @p done fires when a read's data is available;
+     * writes are posted.
+     */
+    void access(Addr addr, bool is_write, Done done);
+
+    /** Functional warm-up: update the directory and forward misses to
+     *  the MS$'s warm path; no timing, no statistics. */
+    void warmTouch(Addr addr, bool is_write);
+
+    double
+    missRatio() const
+    {
+        const auto t = hits.value() + misses.value();
+        return t ? static_cast<double>(misses.value()) / t : 0.0;
+    }
+
+    /** Mean read-miss service latency in ticks. */
+    double
+    meanReadMissLatency() const
+    {
+        return readMissLatency.mean();
+    }
+
+    const L3Config &config() const { return cfg_; }
+
+    Counter hits;
+    Counter misses;
+    Counter readMisses;
+    Counter writebacksToMs; ///< dirty evictions sent to the MS$
+    Average readMissLatency;
+
+  private:
+    struct Line
+    {
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(Addr a) const
+    {
+        return indexHash(blockNumber(a)) % dir_.numSets();
+    }
+    std::uint64_t tagOf(Addr a) const { return blockNumber(a); }
+
+    void install(Addr addr, bool dirty);
+
+    EventQueue &eq_;
+    L3Config cfg_;
+    MemSideCache &ms_;
+    AssocCache<Line> dir_;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_SIM_L3_CACHE_HH

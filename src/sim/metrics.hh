@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Result aggregation and the paper's metrics: weighted speedup,
+ * geometric means, CAS fractions, delivered bandwidth.
+ */
+
+#ifndef DAPSIM_SIM_METRICS_HH
+#define DAPSIM_SIM_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dapsim
+{
+
+class System;
+
+/** Everything a bench needs from one simulation run. */
+struct RunResult
+{
+    std::string mixName;
+    std::string policyName;
+
+    std::vector<double> ipc; ///< per-core IPC at its finish tick
+    std::uint64_t cycles = 0; ///< CPU cycles until the last core finished
+
+    double msHitRatio = 0.0;      ///< read+write hits combined
+    double msReadMissRatio = 0.0;
+    double mmCasFraction = 0.0;   ///< MM CAS / (MM + MS$ array CAS)
+    double tagCacheMissRatio = 0.0;
+    double avgL3ReadMissLatency = 0.0; ///< ticks
+    double l3Mpki = 0.0;
+    double readGBps = 0.0; ///< completed CPU reads x 64B / time
+
+    // DAP decision counts (zero for other policies).
+    std::uint64_t fwb = 0;
+    std::uint64_t wb = 0;
+    std::uint64_t ifrm = 0;
+    std::uint64_t sfrm = 0;
+
+    /** Sum of per-core IPCs (throughput). */
+    double throughput() const;
+
+    /** Weighted speedup against per-app alone IPCs. */
+    double weightedSpeedup(const std::vector<double> &alone_ipc) const;
+
+    /** Fraction of DAP decisions by technique (Fig 7 rows). */
+    double fwbFraction() const;
+    double wbFraction() const;
+    double ifrmFraction() const;
+    double sfrmFraction() const;
+};
+
+/** Harvest a RunResult from a finished System. */
+RunResult harvest(System &sys, const std::string &mix_name);
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace dapsim
+
+#endif // DAPSIM_SIM_METRICS_HH

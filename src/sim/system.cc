@@ -1,0 +1,346 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+#include "dap/bandwidth_model.hh"
+
+namespace dapsim
+{
+
+namespace
+{
+
+/** A pass-through "cache" used by MsArch::None. */
+class NullMsCache final : public MemSideCache
+{
+  public:
+    using MemSideCache::MemSideCache;
+
+    void
+    handleRead(Addr addr, Done done) override
+    {
+        readMisses.inc();
+        mm_.access(addr, false, std::move(done));
+    }
+
+    void
+    handleWrite(Addr addr) override
+    {
+        writeMisses.inc();
+        mm_.access(addr, true);
+    }
+
+    std::uint64_t arrayCasOps() const override { return 0; }
+};
+
+} // namespace
+
+std::uint64_t
+SystemConfig::msCapacityBytes() const
+{
+    switch (arch) {
+      case MsArch::Sectored:
+        return sectored.capacityBytes;
+      case MsArch::Alloy:
+        return alloy.capacityBytes;
+      case MsArch::Edram:
+        return edram.capacityBytes;
+      case MsArch::None:
+        return 0;
+    }
+    return 0;
+}
+
+double
+msPeakAccPerCycle(const SystemConfig &cfg)
+{
+    switch (cfg.arch) {
+      case MsArch::Sectored:
+        return cfg.sectored.array.peakAccessesPerCpuCycle();
+      case MsArch::Alloy: {
+        const auto &a = cfg.alloy;
+        const double data_clocks =
+            a.array.ddr ? (a.array.burstLength + 1) / 2
+                        : a.array.burstLength;
+        return a.array.peakAccessesPerCpuCycle() * data_clocks /
+               (data_clocks + a.tadExtraClocks);
+      }
+      case MsArch::Edram:
+        return cfg.edram.readChannels.peakAccessesPerCpuCycle();
+      case MsArch::None:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+System::System(const SystemConfig &cfg,
+               std::vector<AccessGeneratorPtr> gens)
+    : cfg_(cfg), gens_(std::move(gens))
+{
+    if (gens_.size() != cfg_.numCores)
+        fatal("System: need one generator per core");
+
+    mm_ = std::make_unique<DramSystem>(eq_, cfg_.mainMemory);
+    deriveDapConfig();
+    buildPolicy();
+    buildMsCache();
+    l3_ = std::make_unique<L3Cache>(eq_, cfg_.l3, *ms_);
+
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        AccessGenerator *gen = gens_[i].get();
+        prefetchers_.push_back(
+            std::make_unique<StridePrefetcher>(cfg_.prefetch));
+        StridePrefetcher *pf = prefetchers_.back().get();
+        auto fetch = [gen](TraceRequest &out) { return gen->next(out); };
+        auto issue = [this, pf](Addr a, bool w,
+                                std::function<void()> done) {
+            if (!w) {
+                // Demand reads train the stride prefetcher; prefetches
+                // are injected into the L3 as non-blocking reads.
+                std::vector<Addr> pfs;
+                pf->observe(a, pfs);
+                for (Addr p : pfs)
+                    l3_->access(p, false, nullptr);
+            }
+            l3_->access(a, w, std::move(done));
+        };
+        cores_.push_back(std::make_unique<RobCore>(
+            eq_, cfg_.core, i, std::move(fetch), std::move(issue)));
+    }
+}
+
+System::~System() = default;
+
+void
+System::deriveDapConfig()
+{
+    if (cfg_.dapExplicit)
+        return;
+    cfg_.dap.mmPeakAccPerCycle =
+        cfg_.mainMemory.peakAccessesPerCpuCycle();
+    cfg_.dap.msPeakAccPerCycle = msPeakAccPerCycle(cfg_);
+    cfg_.dap.windowCycles = cfg_.windowCycles;
+    switch (cfg_.arch) {
+      case MsArch::Sectored:
+        cfg_.dap.arch = DapConfig::Arch::Sectored;
+        break;
+      case MsArch::Alloy:
+        cfg_.dap.arch = DapConfig::Arch::Alloy;
+        break;
+      case MsArch::Edram:
+        cfg_.dap.arch = DapConfig::Arch::Edram;
+        cfg_.dap.msWritePeakAccPerCycle =
+            cfg_.edram.writeChannels.peakAccessesPerCpuCycle();
+        break;
+      case MsArch::None:
+        break;
+    }
+}
+
+void
+System::buildPolicy()
+{
+    switch (cfg_.policy) {
+      case PolicyKind::Baseline:
+        policy_ = std::make_unique<BaselinePolicy>();
+        break;
+      case PolicyKind::Dap:
+        policy_ = std::make_unique<DapPolicy>(cfg_.dap);
+        break;
+      case PolicyKind::Sbd:
+        cfg_.sbd.writeThroughOnly = false;
+        policy_ = std::make_unique<SbdPolicy>(cfg_.sbd);
+        break;
+      case PolicyKind::SbdWt:
+        cfg_.sbd.writeThroughOnly = true;
+        policy_ = std::make_unique<SbdPolicy>(cfg_.sbd);
+        break;
+      case PolicyKind::Batman: {
+        if (!cfg_.batmanExplicit) {
+            switch (cfg_.arch) {
+              case MsArch::Sectored:
+                cfg_.batman.numSets = cfg_.sectored.numSets();
+                break;
+              case MsArch::Alloy:
+                cfg_.batman.numSets = cfg_.alloy.numSets();
+                break;
+              case MsArch::Edram:
+                cfg_.batman.numSets = cfg_.edram.numSets();
+                break;
+              case MsArch::None:
+                break;
+            }
+            const double bms = msPeakAccPerCycle(cfg_);
+            const double bmm =
+                cfg_.mainMemory.peakAccessesPerCpuCycle();
+            cfg_.batman.targetHitRate =
+                1.0 - bwmodel::optimalMemoryFraction(bms, bmm);
+        }
+        policy_ = std::make_unique<BatmanPolicy>(cfg_.batman);
+        break;
+      }
+      case PolicyKind::Bear:
+        policy_ = std::make_unique<BearPolicy>(cfg_.bear);
+        break;
+    }
+}
+
+void
+System::buildMsCache()
+{
+    switch (cfg_.arch) {
+      case MsArch::Sectored:
+        ms_ = std::make_unique<SectoredDramCache>(eq_, *mm_, *policy_,
+                                                  cfg_.sectored);
+        break;
+      case MsArch::Alloy:
+        ms_ = std::make_unique<AlloyCache>(eq_, *mm_, *policy_,
+                                           cfg_.alloy);
+        break;
+      case MsArch::Edram:
+        ms_ = std::make_unique<EdramCache>(eq_, *mm_, *policy_,
+                                           cfg_.edram);
+        break;
+      case MsArch::None:
+        ms_ = std::make_unique<NullMsCache>(eq_, *mm_, *policy_);
+        break;
+    }
+}
+
+DapPolicy *
+System::dapPolicy()
+{
+    return dynamic_cast<DapPolicy *>(policy_.get());
+}
+
+bool
+System::allCoresFinished() const
+{
+    for (const auto &c : cores_)
+        if (!c->finished())
+            return false;
+    return true;
+}
+
+void
+System::warmup(std::uint64_t accesses_per_core)
+{
+    TraceRequest req;
+    for (std::uint64_t n = 0; n < accesses_per_core; ++n) {
+        for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+            if (gens_[i]->next(req))
+                l3_->warmTouch(req.addr, req.isWrite);
+        }
+    }
+    // Warm-up must not leak into the reported predictor statistics.
+    if (auto *sc = dynamic_cast<SectoredDramCache *>(ms_.get())) {
+        sc->tagCache().hits.reset();
+        sc->tagCache().misses.reset();
+        sc->tagCache().writebacks.reset();
+    }
+    if (auto *ac = dynamic_cast<AlloyCache *>(ms_.get())) {
+        ac->dbc().hits.reset();
+        ac->dbc().misses.reset();
+    }
+}
+
+namespace
+{
+
+void
+dumpDram(std::ostream &os, const std::string &name, DramSystem &mem,
+         Tick elapsed)
+{
+    os << name << ".casReads " << mem.casReads() << '\n';
+    os << name << ".casWrites " << mem.casWrites() << '\n';
+    os << name << ".rowHits " << mem.rowHits() << '\n';
+    os << name << ".rowMisses " << mem.rowMisses() << '\n';
+    os << name << ".meanReadLatencyNs "
+       << mem.meanReadLatency() / 1000.0 << '\n';
+    os << name << ".busUtilization " << mem.busUtilization(elapsed)
+       << '\n';
+    os << name << ".deliveredGBps "
+       << (elapsed ? static_cast<double>(mem.dataBytes()) /
+                         (static_cast<double>(elapsed) / kPsPerSecond) /
+                         1e9
+                   : 0.0)
+       << '\n';
+}
+
+} // namespace
+
+void
+System::dumpStats(std::ostream &os)
+{
+    const Tick elapsed = eq_.now();
+    os << "sim.ticks " << elapsed << '\n';
+    os << "sim.cycles " << elapsed / kCpuPeriodPs << '\n';
+    os << "sim.events " << eq_.executed() << '\n';
+
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        RobCore &c = *cores_[i];
+        const std::string n = "core" + std::to_string(i);
+        os << n << ".ipc "
+           << (c.finished() ? c.finishIpc() : c.ipcAt(elapsed)) << '\n';
+        os << n << ".reads " << c.readsIssued.value() << '\n';
+        os << n << ".writes " << c.writesIssued.value() << '\n';
+        os << n << ".meanReadLatencyNs "
+           << c.readLatency.mean() / 1000.0 << '\n';
+    }
+
+    os << "l3.hits " << l3_->hits.value() << '\n';
+    os << "l3.misses " << l3_->misses.value() << '\n';
+    os << "l3.writebacks " << l3_->writebacksToMs.value() << '\n';
+    os << "l3.meanReadMissLatencyNs "
+       << l3_->meanReadMissLatency() / 1000.0 << '\n';
+
+    os << "ms.readHits " << ms_->readHits.value() << '\n';
+    os << "ms.readMisses " << ms_->readMisses.value() << '\n';
+    os << "ms.writeHits " << ms_->writeHits.value() << '\n';
+    os << "ms.writeMisses " << ms_->writeMisses.value() << '\n';
+    os << "ms.hitRatio " << ms_->hitRatio() << '\n';
+    os << "ms.fills " << ms_->fills.value() << '\n';
+    os << "ms.fillsBypassed " << ms_->fillsBypassed.value() << '\n';
+    os << "ms.writesBypassed " << ms_->writesBypassed.value() << '\n';
+    os << "ms.forcedReadMisses " << ms_->forcedReadMisses.value()
+       << '\n';
+    os << "ms.speculativeReads " << ms_->speculativeReads.value()
+       << '\n';
+    os << "ms.sectorEvictions " << ms_->sectorEvictions.value() << '\n';
+    os << "ms.dirtyWritebacks " << ms_->dirtyWritebacks.value() << '\n';
+    os << "ms.mmCasFraction " << ms_->mainMemoryCasFraction() << '\n';
+
+    if (auto *sc = dynamic_cast<SectoredDramCache *>(ms_.get())) {
+        os << "ms.tagCache.missRatio " << sc->tagCache().missRatio()
+           << '\n';
+        dumpDram(os, "msArray", sc->array(), elapsed);
+    }
+    if (auto *ac = dynamic_cast<AlloyCache *>(ms_.get()))
+        dumpDram(os, "msArray", ac->array(), elapsed);
+    if (auto *ec = dynamic_cast<EdramCache *>(ms_.get())) {
+        dumpDram(os, "msReadArray", ec->readArray(), elapsed);
+        dumpDram(os, "msWriteArray", ec->writeArray(), elapsed);
+    }
+    dumpDram(os, "mainMemory", *mm_, elapsed);
+
+    if (DapPolicy *dap = dapPolicy()) {
+        os << "dap.fwbApplied " << dap->fwbApplied.value() << '\n';
+        os << "dap.wbApplied " << dap->wbApplied.value() << '\n';
+        os << "dap.ifrmApplied " << dap->ifrmApplied.value() << '\n';
+        os << "dap.sfrmApplied " << dap->sfrmApplied.value() << '\n';
+        os << "dap.windowsPartitioned "
+           << dap->windowsPartitioned.value() << '\n';
+        os << "dap.windowsTotal " << dap->windowsTotal.value() << '\n';
+    }
+}
+
+void
+System::run(Tick max_ticks)
+{
+    ms_->startWindows(cfg_.windowCycles);
+    for (auto &c : cores_)
+        c->start();
+    eq_.runUntil([this] { return allCoresFinished(); }, max_ticks);
+    ms_->stopWindows();
+}
+
+} // namespace dapsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Full-system assembly: cores -> shared L3 -> memory-side cache ->
+ * DDR main memory, with a pluggable partitioning policy.
+ */
+
+#ifndef DAPSIM_SIM_SYSTEM_HH
+#define DAPSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cpu/rob_core.hh"
+#include "cpu/stride_prefetcher.hh"
+#include "dap/dap_controller.hh"
+#include "dram/presets.hh"
+#include "memside/alloy_cache.hh"
+#include "memside/edram_cache.hh"
+#include "memside/sectored_dram_cache.hh"
+#include "policies/batman.hh"
+#include "policies/bear.hh"
+#include "policies/sbd.hh"
+#include "sim/l3_cache.hh"
+#include "trace/access_gen.hh"
+
+namespace dapsim
+{
+
+/** Which memory-side cache architecture the system uses. */
+enum class MsArch
+{
+    Sectored,
+    Alloy,
+    Edram,
+    None, ///< main memory only (tests / reference runs)
+};
+
+/** Which partitioning policy runs on top of the MS$. */
+enum class PolicyKind
+{
+    Baseline,
+    Dap,
+    Sbd,
+    SbdWt,
+    Batman,
+    Bear,
+};
+
+/** Complete system configuration. */
+struct SystemConfig
+{
+    std::uint32_t numCores = 8;
+    CoreConfig core{};
+    L3Config l3{};
+
+    MsArch arch = MsArch::Sectored;
+    SectoredDramCacheConfig sectored{};
+    AlloyCacheConfig alloy{};
+    EdramCacheConfig edram{};
+
+    DramConfig mainMemory = presets::ddr4_2400();
+
+    PolicyKind policy = PolicyKind::Baseline;
+    /** DAP parameters; bandwidth fields are auto-filled from the
+     *  architecture configs unless dapExplicit is set. */
+    DapConfig dap{};
+    bool dapExplicit = false;
+    SbdConfig sbd{};
+    BatmanConfig batman{};
+    bool batmanExplicit = false;
+    BearConfig bear{};
+
+    PrefetcherConfig prefetch{};
+
+    /** Window length fed to MemSideCache::startWindows. */
+    Cycle windowCycles = 64;
+
+    /** Functional warm-up accesses per core before the timed run;
+     *  0 selects ~2x the MS$ capacity in aggregate block touches. */
+    std::uint64_t warmupAccessesPerCore = 0;
+
+    /** MS$ capacity in bytes for the active architecture. */
+    std::uint64_t msCapacityBytes() const;
+};
+
+/** A fully wired simulated system. */
+class System
+{
+  public:
+    /**
+     * @param cfg  the configuration (copied)
+     * @param gens one access generator per core (cfg.numCores of them)
+     */
+    System(const SystemConfig &cfg,
+           std::vector<AccessGeneratorPtr> gens);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Functional cache warm-up: pull @p accesses_per_core records from
+     * each core's generator (round-robin) through the warm path so the
+     * timed run starts from steady-state directories. Warm-up
+     * perturbations to predictor statistics are reset afterwards.
+     */
+    void warmup(std::uint64_t accesses_per_core);
+
+    /** Run until every core has retired its instruction target (or
+     *  @p max_ticks elapses). */
+    void run(Tick max_ticks = ~Tick(0) >> 1);
+
+    EventQueue &eventQueue() { return eq_; }
+    DramSystem &mainMemory() { return *mm_; }
+    MemSideCache *msCache() { return ms_.get(); }
+    L3Cache &l3() { return *l3_; }
+    PartitionPolicy &policy() { return *policy_; }
+    RobCore &core(std::uint32_t i) { return *cores_[i]; }
+    std::uint32_t numCores() const { return cfg_.numCores; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** The DAP policy, or nullptr when another policy is active. */
+    DapPolicy *dapPolicy();
+
+    /** Dump every component's statistics as `group.name value` rows
+     *  (gem5-style stats file). */
+    void dumpStats(std::ostream &os);
+
+    bool allCoresFinished() const;
+
+  private:
+    /** Fill cfg_.dap's bandwidth fields from the architecture. */
+    void deriveDapConfig();
+    void buildPolicy();
+    void buildMsCache();
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<DramSystem> mm_;
+    std::unique_ptr<PartitionPolicy> policy_;
+    std::unique_ptr<MemSideCache> ms_;
+    std::unique_ptr<L3Cache> l3_;
+    std::vector<AccessGeneratorPtr> gens_;
+    std::vector<std::unique_ptr<RobCore>> cores_;
+    std::vector<std::unique_ptr<StridePrefetcher>> prefetchers_;
+};
+
+/** Peak 64B accesses/CPU-cycle of the configured MS$ (DAP's B_MS$). */
+double msPeakAccPerCycle(const SystemConfig &cfg);
+
+} // namespace dapsim
+
+#endif // DAPSIM_SIM_SYSTEM_HH

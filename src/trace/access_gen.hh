@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Access-stream generator interface.
+ *
+ * Generators stand in for the paper's SPEC CPU 2006 / HPCG / Parboil
+ * snippets: they produce the L2-miss stream (reads plus L2 dirty
+ * writebacks) a core feeds into the shared L3, parameterized to match
+ * each benchmark's reported MPKI, footprint, read/write mix and
+ * spatial locality. Streams are endless (rate mode re-runs them) and
+ * fully deterministic given a seed.
+ */
+
+#ifndef DAPSIM_TRACE_ACCESS_GEN_HH
+#define DAPSIM_TRACE_ACCESS_GEN_HH
+
+#include <memory>
+
+#include "cpu/rob_core.hh"
+
+namespace dapsim
+{
+
+/** Abstract endless access-stream generator. */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /** Produce the next request. Never ends (returns true). */
+    virtual bool next(TraceRequest &out) = 0;
+};
+
+using AccessGeneratorPtr = std::unique_ptr<AccessGenerator>;
+
+} // namespace dapsim
+
+#endif // DAPSIM_TRACE_ACCESS_GEN_HH

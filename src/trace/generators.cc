@@ -1,0 +1,75 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticParams &p)
+    : p_(p), rng_(p.seed), streamPtr_(0)
+{
+    if (p_.footprintBytes < kBlockBytes)
+        fatal("SyntheticGenerator: footprint too small");
+    blocks_ = p_.footprintBytes / kBlockBytes;
+    hotBlocks_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(blocks_) * p_.hotFraction));
+}
+
+Addr
+SyntheticGenerator::pickRandomBlock()
+{
+    if (rng_.chance(p_.hotProbability))
+        return rng_.below(hotBlocks_);
+    return rng_.below(blocks_);
+}
+
+bool
+SyntheticGenerator::next(TraceRequest &out)
+{
+    Addr block;
+    if (rng_.chance(p_.streamFraction)) {
+        // Sequential streaming pointer, wrapping over the footprint.
+        block = streamPtr_;
+        streamPtr_ = (streamPtr_ + 1) % blocks_;
+    } else {
+        // Random run: continue the current spatial run or start a new
+        // one at a random (hot-biased) location.
+        if (runLeft_ == 0) {
+            runPtr_ = pickRandomBlock();
+            const double mean = std::max(1.0, p_.runLength);
+            runLeft_ = static_cast<std::uint32_t>(rng_.gap(mean, 64));
+        }
+        block = runPtr_;
+        runPtr_ = (runPtr_ + 1) % blocks_;
+        --runLeft_;
+    }
+
+    out.addr = p_.base + block * kBlockBytes;
+    out.isWrite = rng_.chance(p_.writeFraction);
+    const double mean_gap = std::max(1.0, 1000.0 / p_.mpki);
+    out.instrGap = rng_.gap(mean_gap, 1'000'000);
+    return true;
+}
+
+StreamKernelGenerator::StreamKernelGenerator(std::uint64_t footprint_bytes,
+                                             std::uint64_t gap, Addr base)
+    : footprint_(footprint_bytes / kBlockBytes), gap_(gap), base_(base)
+{
+    if (footprint_ == 0)
+        fatal("StreamKernelGenerator: footprint too small");
+}
+
+bool
+StreamKernelGenerator::next(TraceRequest &out)
+{
+    out.addr = base_ + ptr_ * kBlockBytes;
+    ptr_ = (ptr_ + 1) % footprint_;
+    out.isWrite = false;
+    out.instrGap = gap_;
+    return true;
+}
+
+} // namespace dapsim

@@ -1,0 +1,85 @@
+#include "trace/trace_file.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+bool
+TraceFileGenerator::parseLine(const std::string &line, TraceRequest &out)
+{
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(
+                                  line[i])))
+        ++i;
+    if (i == line.size() || line[i] == '#')
+        return false;
+
+    std::istringstream is(line);
+    std::uint64_t gap = 0;
+    std::string kind;
+    std::string addr;
+    if (!(is >> gap >> kind >> addr))
+        fatal("trace: malformed record: " + line);
+    if (kind != "r" && kind != "w")
+        fatal("trace: access kind must be 'r' or 'w': " + line);
+    out.instrGap = gap == 0 ? 1 : gap;
+    out.isWrite = kind == "w";
+    out.addr = std::strtoull(addr.c_str(), nullptr, 16);
+    return true;
+}
+
+TraceFileGenerator::TraceFileGenerator(const std::string &path, Addr base)
+    : base_(base)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("trace: cannot open " + path);
+    std::string line;
+    TraceRequest r;
+    while (std::getline(in, line))
+        if (parseLine(line, r))
+            records_.push_back(r);
+    if (records_.empty())
+        fatal("trace: no records in " + path);
+}
+
+TraceFileGenerator::TraceFileGenerator(std::vector<TraceRequest> records,
+                                       Addr base)
+    : records_(std::move(records)), base_(base)
+{
+    if (records_.empty())
+        fatal("trace: no records supplied");
+}
+
+bool
+TraceFileGenerator::next(TraceRequest &out)
+{
+    out = records_[pos_];
+    out.addr += base_;
+    if (++pos_ == records_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return true;
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRequest> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("trace: cannot write " + path);
+    out << "# dapsim trace: <instr_gap> <r|w> <hex_address>\n";
+    for (const auto &r : records)
+        out << r.instrGap << ' ' << (r.isWrite ? 'w' : 'r') << ' '
+            << std::hex << "0x" << r.addr << std::dec << '\n';
+}
+
+} // namespace dapsim

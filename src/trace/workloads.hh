@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The 17 named workload profiles substituting the paper's SPEC CPU
+ * 2006 / HPCG / Parboil snippets (Section V).
+ *
+ * Each profile is a SyntheticParams block calibrated to the benchmark's
+ * published character: L3-filtered MPKI (Fig 4 bottom: sensitive
+ * average 20.4, insensitive 11.6), footprint-to-cache ratio, streaming
+ * vs pointer-chasing behaviour, write intensity, and sector
+ * utilization (astar.BigLakes and omnetpp have poor utilization, which
+ * drives their high tag-cache miss rates in Fig 5). Footprints are
+ * scaled by the same ~64x factor as the cache capacities.
+ */
+
+#ifndef DAPSIM_TRACE_WORKLOADS_HH
+#define DAPSIM_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/generators.hh"
+
+namespace dapsim
+{
+
+/** A named synthetic workload. */
+struct WorkloadProfile
+{
+    std::string name;
+    SyntheticParams params;
+    bool bandwidthSensitive = true;
+};
+
+/** All 17 profiles, bandwidth-sensitive first (12), then insensitive (5). */
+const std::vector<WorkloadProfile> &allWorkloads();
+
+/** The 12 bandwidth-sensitive profiles (paper's main result set). */
+std::vector<WorkloadProfile> bandwidthSensitiveWorkloads();
+
+/** The 5 bandwidth-insensitive profiles. */
+std::vector<WorkloadProfile> bandwidthInsensitiveWorkloads();
+
+/** Look up a profile by name; fatal() if unknown. */
+const WorkloadProfile &workloadByName(const std::string &name);
+
+/**
+ * Instantiate a generator for one core running @p profile.
+ * Each core gets a private address-space slice and an unrelated seed.
+ */
+AccessGeneratorPtr makeGenerator(const WorkloadProfile &profile,
+                                 std::uint32_t core_id,
+                                 std::uint64_t seed_salt = 0);
+
+} // namespace dapsim
+
+#endif // DAPSIM_TRACE_WORKLOADS_HH

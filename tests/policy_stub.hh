@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scripted PartitionPolicy stub for driving MS$ decision points in
+ * unit tests.
+ */
+
+#ifndef DAPSIM_TESTS_POLICY_STUB_HH
+#define DAPSIM_TESTS_POLICY_STUB_HH
+
+#include <set>
+
+#include "policies/partition_policy.hh"
+
+namespace dapsim
+{
+
+/** Policy whose answers are fixed flags settable per test. */
+class StubPolicy final : public PartitionPolicy
+{
+  public:
+    bool bypassFill = false;
+    bool bypassWrite = false;
+    bool forceReadMiss = false;
+    bool speculate = false;
+    bool writeThrough = false;
+    bool steer = false;
+    std::set<std::uint64_t> disabledSets;
+
+    int fillAsked = 0;
+    int writeAsked = 0;
+    int ifrmAsked = 0;
+    int sfrmAsked = 0;
+    int windows = 0;
+    WindowCounters lastWindow;
+
+    void
+    beginWindow(const WindowCounters &w) override
+    {
+        ++windows;
+        lastWindow = w;
+    }
+
+    bool
+    shouldBypassFill(Addr) override
+    {
+        ++fillAsked;
+        return bypassFill;
+    }
+
+    bool
+    shouldBypassWrite(Addr) override
+    {
+        ++writeAsked;
+        return bypassWrite;
+    }
+
+    bool
+    shouldForceReadMiss(Addr) override
+    {
+        ++ifrmAsked;
+        return forceReadMiss;
+    }
+
+    bool
+    shouldSpeculateToMemory(Addr) override
+    {
+        ++sfrmAsked;
+        return speculate;
+    }
+
+    bool shouldWriteThrough(Addr) override { return writeThrough; }
+
+    bool
+    isSetDisabled(std::uint64_t set) override
+    {
+        return disabledSets.count(set) > 0;
+    }
+
+    bool steerToMemory(Addr, const SteerInfo &) override { return steer; }
+
+    const char *name() const override { return "stub"; }
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_TESTS_POLICY_STUB_HH

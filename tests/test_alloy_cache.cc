@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the Alloy cache controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/presets.hh"
+#include "memside/alloy_cache.hh"
+#include "policy_stub.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+class AlloyCacheTest : public ::testing::Test
+{
+  protected:
+    AlloyCacheTest() : mm(eq, presets::ddr4_2400())
+    {
+        cfg.capacityBytes = 1 * kMiB; // small for tests
+        cfg.dbc.entries = 64;
+    }
+
+    AlloyCache &
+    cache()
+    {
+        if (!ms)
+            ms = std::make_unique<AlloyCache>(eq, mm, policy, cfg);
+        return *ms;
+    }
+
+    bool
+    read(Addr a)
+    {
+        bool fired = false;
+        cache().handleRead(a, [&] { fired = true; });
+        eq.run();
+        return fired;
+    }
+
+    EventQueue eq;
+    DramSystem mm;
+    StubPolicy policy;
+    AlloyCacheConfig cfg;
+    std::unique_ptr<AlloyCache> ms;
+};
+
+TEST(AlloyConfig, TadDeratesEffectiveBandwidthByTwoThirds)
+{
+    EventQueue eq;
+    DramSystem mm(eq, presets::ddr4_2400());
+    StubPolicy policy;
+    AlloyCacheConfig cfg;
+    AlloyCache alloy(eq, mm, policy, cfg);
+    // HBM BL4 = 2 clocks data; TAD = 3 clocks: 2/3 of 0.4 acc/cycle.
+    EXPECT_NEAR(alloy.effectivePeakAccPerCycle(), 0.4 * 2.0 / 3.0,
+                1e-6);
+}
+
+TEST_F(AlloyCacheTest, ColdMissFetchesFromMemoryAndFills)
+{
+    EXPECT_TRUE(read(0x1000));
+    EXPECT_EQ(cache().readMisses.value(), 1u);
+    EXPECT_EQ(cache().fills.value(), 1u);
+    EXPECT_GT(mm.casReads(), 0u);
+}
+
+TEST_F(AlloyCacheTest, HitServedByTadRead)
+{
+    read(0x1000);
+    const auto mm_reads = mm.casReads();
+    EXPECT_TRUE(read(0x1000));
+    EXPECT_EQ(cache().readHits.value(), 1u);
+    // Predictor may still launch an early read the first few times,
+    // but once trained a hit needs no memory read.
+    read(0x1000);
+    read(0x1000);
+    const auto mm_reads2 = mm.casReads();
+    read(0x1000);
+    EXPECT_EQ(mm.casReads(), mm_reads2);
+    (void)mm_reads;
+}
+
+TEST_F(AlloyCacheTest, DirectMappedConflictEvicts)
+{
+    read(0x1000);
+    // Same set, different tag: capacity/64 blocks apart.
+    const Addr conflicting = 0x1000 + cfg.capacityBytes;
+    // Find an address that actually collides under the hashed index —
+    // scan for one.
+    Addr victim_addr = 0;
+    for (Addr cand = conflicting; cand < conflicting + (64u << 20);
+         cand += kBlockBytes) {
+        if (indexHash(blockNumber(cand)) % cfg.numSets() ==
+                indexHash(blockNumber(0x1000)) % cfg.numSets() &&
+            cand != 0x1000) {
+            victim_addr = cand;
+            break;
+        }
+    }
+    ASSERT_NE(victim_addr, 0u);
+    read(victim_addr);
+    // The original block was evicted (direct-mapped).
+    read(0x1000);
+    EXPECT_EQ(cache().readMisses.value(), 3u);
+}
+
+TEST_F(AlloyCacheTest, DirtyVictimWrittenBackOnFill)
+{
+    cache().handleWrite(0x2000);
+    eq.run();
+    Addr conflict = 0;
+    for (Addr cand = 0x2000 + kBlockBytes; ; cand += kBlockBytes) {
+        if (indexHash(blockNumber(cand)) % cfg.numSets() ==
+            indexHash(blockNumber(0x2000)) % cfg.numSets()) {
+            conflict = cand;
+            break;
+        }
+    }
+    const auto wb_before = cache().dirtyWritebacks.value();
+    read(conflict);
+    EXPECT_EQ(cache().dirtyWritebacks.value(), wb_before + 1);
+}
+
+TEST_F(AlloyCacheTest, PresenceBitSkipsTadFetchForPresentWrites)
+{
+    read(0x3000);
+    const auto cas = cache().arrayCasOps();
+    cache().handleWrite(0x3000);
+    eq.run();
+    // Present + presence bit: only the TAD write, no TAD read.
+    EXPECT_EQ(cache().arrayCasOps(), cas + 1);
+}
+
+TEST_F(AlloyCacheTest, NoPresenceBitCostsTadFetchOnAbsentWrites)
+{
+    cfg.presenceBit = false;
+    const auto cas0 = cache().arrayCasOps();
+    cache().handleWrite(0x4000);
+    eq.run();
+    // Absent write without presence bit: discovery TAD read + victim
+    // TAD read + TAD write.
+    EXPECT_GE(cache().arrayCasOps(), cas0 + 3);
+}
+
+TEST_F(AlloyCacheTest, WriteThroughKeepsLineClean)
+{
+    read(0x5000);
+    policy.writeThrough = true;
+    const auto mm_writes = mm.casWrites();
+    cache().handleWrite(0x5000);
+    eq.run();
+    EXPECT_GT(mm.casWrites(), mm_writes);
+    // The line stays clean: a later read is a clean hit.
+    read(0x5000);
+    EXPECT_GT(cache().cleanReadHits.value(), 0u);
+}
+
+TEST_F(AlloyCacheTest, IfrmViaDbcServesFromMemoryWithoutTad)
+{
+    read(0x6000); // resident, clean; DBC learns clean on the hit
+    read(0x6000);
+    policy.forceReadMiss = true;
+    const auto array_cas = cache().arrayCasOps();
+    const auto mm_reads = mm.casReads();
+    EXPECT_TRUE(read(0x6000));
+    EXPECT_EQ(cache().forcedReadMisses.value(), 1u);
+    EXPECT_EQ(cache().arrayCasOps(), array_cas); // no TAD read!
+    EXPECT_GT(mm.casReads(), mm_reads);
+}
+
+TEST_F(AlloyCacheTest, IfrmOnAbsentLineBypassesFill)
+{
+    // Prime the DBC group as clean via a neighbouring set.
+    read(0x7000);
+    read(0x7000);
+    policy.forceReadMiss = true;
+    // A different absent address in the same DBC group: groups are
+    // 64 consecutive block addresses (one 4 KB stretch).
+    const auto fills = cache().fills.value();
+    const Addr probe = 0x7000 + kBlockBytes;
+    read(probe);
+    // Whether IFRM applied depends on the DBC knowing that set; if it
+    // did, no fill happened.
+    if (cache().forcedReadMisses.value() > 0)
+        EXPECT_EQ(cache().fills.value(), fills);
+}
+
+TEST_F(AlloyCacheTest, BearBypassPreventsFill)
+{
+    class BypassAll : public PartitionPolicy
+    {
+      public:
+        bool shouldBypassFillForReuse(Addr) override { return true; }
+        const char *name() const override { return "bypass-all"; }
+    } bypass;
+    AlloyCache alloy(eq, mm, bypass, cfg);
+    bool fired = false;
+    alloy.handleRead(0x1000, [&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(alloy.fills.value(), 0u);
+    EXPECT_EQ(alloy.fillsBypassed.value(), 1u);
+    // Still absent: misses again.
+    alloy.handleRead(0x1000, [&] {});
+    eq.run();
+    EXPECT_EQ(alloy.readMisses.value(), 2u);
+}
+
+TEST_F(AlloyCacheTest, PredictorTrainsTowardActualOutcome)
+{
+    // Cold misses within one 4 KB region train its predictor counter
+    // toward "miss"; later reads in that region launch early memory
+    // reads.
+    for (int i = 0; i < 40; ++i)
+        read(0x100000 + static_cast<Addr>(i) * kBlockBytes);
+    EXPECT_GT(cache().earlyMissReads.value(), 0u);
+}
+
+TEST_F(AlloyCacheTest, WarmTouchInstallsLines)
+{
+    cache().warmTouch(0x8000, false);
+    read(0x8000);
+    EXPECT_EQ(cache().readHits.value(), 1u);
+    EXPECT_EQ(cache().readMisses.value(), 0u);
+}
+
+} // namespace
+} // namespace dapsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the Section III analytical bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dap/bandwidth_model.hh"
+
+namespace dapsim::bwmodel
+{
+namespace
+{
+
+TEST(BandwidthModel, PaperTwoModuleExample)
+{
+    // Section III: M1 = 102.4 GB/s, M2 = 51.2 GB/s.
+    const std::vector<double> b{102.4, 51.2};
+    // All accesses to M1: delivered = 102.4.
+    EXPECT_NEAR(deliveredBandwidth(b, {1.0, 0.0}), 102.4, 1e-9);
+    // Half and half: bottlenecked by M2 at 102.4.
+    EXPECT_NEAR(deliveredBandwidth(b, {0.5, 0.5}), 102.4, 1e-9);
+    // Optimal 2/3 vs 1/3: the sum, 153.6.
+    EXPECT_NEAR(deliveredBandwidth(b, {2.0 / 3, 1.0 / 3}), 153.6, 1e-6);
+}
+
+TEST(BandwidthModel, OptimalFractionsAreBandwidthProportional)
+{
+    const std::vector<double> b{102.4, 51.2};
+    const auto f = optimalFractions(b);
+    EXPECT_NEAR(f[0], 2.0 / 3, 1e-12);
+    EXPECT_NEAR(f[1], 1.0 / 3, 1e-12);
+}
+
+TEST(BandwidthModel, OptimalFractionsDeliverTheSum)
+{
+    // Equation 3 for several source sets.
+    const std::vector<std::vector<double>> cases{
+        {10.0, 20.0},
+        {1.0, 2.0, 3.0},
+        {38.4, 102.4},
+        {51.2, 51.2, 38.4}, // the eDRAM three-source system
+    };
+    for (const auto &b : cases) {
+        const auto f = optimalFractions(b);
+        EXPECT_NEAR(deliveredBandwidth(b, f), maxDeliveredBandwidth(b),
+                    1e-6);
+    }
+}
+
+TEST(BandwidthModel, AnyOtherPartitionIsWorse)
+{
+    const std::vector<double> b{102.4, 38.4};
+    const double best = maxDeliveredBandwidth(b);
+    for (double f1 = 0.0; f1 <= 1.0; f1 += 0.05) {
+        const double d = deliveredBandwidth(b, {f1, 1.0 - f1});
+        EXPECT_LE(d, best + 1e-9) << "f1=" << f1;
+    }
+}
+
+TEST(BandwidthModel, InflationDividesTheBound)
+{
+    const std::vector<double> b{102.4, 38.4};
+    EXPECT_NEAR(maxDeliveredWithInflation(b, 1.0), 140.8, 1e-9);
+    EXPECT_NEAR(maxDeliveredWithInflation(b, 2.0), 70.4, 1e-9);
+}
+
+TEST(BandwidthModel, OptimalMemoryFractionPaperValue)
+{
+    // Section VI-A.2: B_MM/(B_MM + B_MS$) = 0.27 for 38.4 vs 102.4.
+    EXPECT_NEAR(optimalMemoryFraction(102.4, 38.4), 0.2727, 1e-3);
+}
+
+TEST(Figure1Model, DramCacheRampsThenPlateaus)
+{
+    // Fills share the DRAM cache bus: delivered = min(Bc, Bm/(1-h)).
+    const double bc = 102.4, bm = 38.4;
+    EXPECT_NEAR(dramCacheReadKernelBW(0.0, bc, bm), 38.4, 1e-9);
+    EXPECT_NEAR(dramCacheReadKernelBW(0.25, bc, bm), 51.2, 1e-9);
+    EXPECT_NEAR(dramCacheReadKernelBW(0.5, bc, bm), 76.8, 1e-9);
+    // Past the crossover (h* = 1 - Bm/Bc = 0.625) the cache bus caps it.
+    EXPECT_NEAR(dramCacheReadKernelBW(0.7, bc, bm), 102.4, 1e-9);
+    EXPECT_NEAR(dramCacheReadKernelBW(0.9, bc, bm), 102.4, 1e-9);
+    EXPECT_NEAR(dramCacheReadKernelBW(1.0, bc, bm), 102.4, 1e-9);
+}
+
+TEST(Figure1Model, EdramPeaksMidRangeAndFallsAtFullHitRate)
+{
+    // Split channels: fills don't consume read bandwidth, so the
+    // delivered bandwidth peaks where both sources saturate and then
+    // *drops* toward the read-channel bandwidth (the paper's key
+    // eDRAM observation).
+    const double bcr = 51.2, bm = 38.4;
+    const double peak_h = bcr / (bcr + bm); // ~0.571
+    const double at_peak = edramReadKernelBW(peak_h, bcr, bm);
+    EXPECT_NEAR(at_peak, bcr + bm, 1e-6);
+    EXPECT_LT(edramReadKernelBW(1.0, bcr, bm), at_peak);
+    EXPECT_NEAR(edramReadKernelBW(1.0, bcr, bm), 51.2, 1e-9);
+    // Rising before the peak, falling after it.
+    EXPECT_LT(edramReadKernelBW(0.3, bcr, bm), at_peak);
+    EXPECT_GT(edramReadKernelBW(0.7, bcr, bm),
+              edramReadKernelBW(1.0, bcr, bm));
+}
+
+TEST(BandwidthModelDeathTest, RejectsBadInput)
+{
+    EXPECT_DEATH((void)deliveredBandwidth({1.0}, {0.5, 0.5}),
+                 "mismatch");
+    EXPECT_DEATH((void)deliveredBandwidth({0.0}, {1.0}),
+                 "non-positive");
+    EXPECT_DEATH((void)deliveredBandwidth({1.0}, {-0.5}), "negative");
+    EXPECT_DEATH((void)maxDeliveredWithInflation({1.0}, 0.5), ">= 1");
+}
+
+/** Property: delivered bandwidth is monotone in each source bandwidth. */
+class BandwidthMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BandwidthMonotone, MoreBandwidthNeverHurts)
+{
+    const double f1 = GetParam();
+    const std::vector<double> f{f1, 1.0 - f1};
+    const double base = deliveredBandwidth({50.0, 40.0}, f);
+    EXPECT_GE(deliveredBandwidth({60.0, 40.0}, f) + 1e-12, base);
+    EXPECT_GE(deliveredBandwidth({50.0, 48.0}, f) + 1e-12, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BandwidthMonotone,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+} // namespace
+} // namespace dapsim::bwmodel

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the counting Bloom filter (SBD's Dirty List backend).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bloom.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+TEST(CountingBloom, NoFalseNegatives)
+{
+    CountingBloom b(1024, 3);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        b.insert(k * 7919);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_TRUE(b.mayContain(k * 7919)) << k;
+}
+
+TEST(CountingBloom, EmptyContainsNothing)
+{
+    CountingBloom b(1024, 3);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(b.mayContain(k));
+}
+
+TEST(CountingBloom, RemoveUndoesInsert)
+{
+    CountingBloom b(1024, 3);
+    b.insert(42);
+    EXPECT_TRUE(b.mayContain(42));
+    b.remove(42);
+    EXPECT_FALSE(b.mayContain(42));
+}
+
+TEST(CountingBloom, EstimateGrowsWithInsertions)
+{
+    CountingBloom b(1024, 3);
+    EXPECT_EQ(b.estimate(5), 0);
+    for (int i = 0; i < 4; ++i)
+        b.insert(5);
+    EXPECT_GE(b.estimate(5), 4);
+}
+
+TEST(CountingBloom, EstimateSaturates)
+{
+    CountingBloom b(1024, 3, 15);
+    for (int i = 0; i < 100; ++i)
+        b.insert(9);
+    EXPECT_EQ(b.estimate(9), 15);
+}
+
+TEST(CountingBloom, ClearResets)
+{
+    CountingBloom b(256, 2);
+    b.insert(1);
+    b.insert(2);
+    b.clear();
+    EXPECT_FALSE(b.mayContain(1));
+    EXPECT_FALSE(b.mayContain(2));
+}
+
+TEST(CountingBloom, LowFalsePositiveRateWhenSparse)
+{
+    CountingBloom b(4096, 3);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        b.insert(k);
+    int fp = 0;
+    for (std::uint64_t k = 1000; k < 2000; ++k)
+        if (b.mayContain(k))
+            ++fp;
+    EXPECT_LT(fp, 50); // well under 5%
+}
+
+TEST(CountingBloomDeathTest, BucketsMustBePowerOfTwo)
+{
+    EXPECT_DEATH(CountingBloom(1000, 3), "power of two");
+}
+
+/** Property sweep over sizes/hash counts. */
+class BloomSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{
+};
+
+TEST_P(BloomSweep, InsertRemoveRoundTrip)
+{
+    const auto [buckets, hashes] = GetParam();
+    CountingBloom b(buckets, hashes);
+    for (std::uint64_t k = 0; k < 32; ++k)
+        b.insert(k * 1315423911ULL);
+    for (std::uint64_t k = 0; k < 32; ++k)
+        EXPECT_TRUE(b.mayContain(k * 1315423911ULL));
+    for (std::uint64_t k = 0; k < 32; ++k)
+        b.remove(k * 1315423911ULL);
+    int residual = 0;
+    for (std::uint64_t k = 0; k < 32; ++k)
+        if (b.mayContain(k * 1315423911ULL))
+            ++residual;
+    // Counter collisions can leave a few residual positives at small
+    // sizes, but most entries must clear.
+    EXPECT_LE(residual, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BloomSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(256, 1024, 8192),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+} // namespace
+} // namespace dapsim

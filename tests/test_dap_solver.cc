@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unit tests for DAP's per-window partitioning solvers (Section IV).
+ *
+ * The concrete expected values pin the integer arithmetic of the
+ * hardware-friendly closed forms with K = 8/3 quantized to 11/4
+ * (the paper's own example) and the Fig 3 cascade
+ * FWB -> WB -> IFRM -> SFRM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dap/dap_solver.hh"
+
+namespace dapsim::dap
+{
+namespace
+{
+
+FixedRatio
+paperK()
+{
+    return FixedRatio::quantize(102.4 / 38.4, 2); // 11/4
+}
+
+SectoredInput
+baseInput()
+{
+    SectoredInput in;
+    in.bMsW = 19; // floor(0.75 * 0.4 acc/cyc * 64 cycles)
+    in.bMmW = 7;  // floor(0.75 * 0.15 * 64)
+    return in;
+}
+
+TEST(SolveSectored, NoPartitioningWithinBandwidth)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 19; // == bMsW: no shortage
+    in.aMm = 3;
+    in.readMisses = 5;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_FALSE(t.active);
+    EXPECT_EQ(t.nFwb, 0);
+    EXPECT_EQ(t.nWb, 0);
+    EXPECT_EQ(t.nIfrm, 0);
+    // SFRM still uses the spare memory bandwidth (Fig 3 computes it in
+    // its own box): 0.8 * (7 - 3) = 3.
+    EXPECT_EQ(t.nSfrm, 3);
+}
+
+TEST(SolveSectored, MainMemoryBottleneckExitsPartitioning)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 25;
+    in.aMm = 10; // K*10 = 28 > 25: memory is the bottleneck
+    in.readMisses = 20;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_FALSE(t.active);
+    EXPECT_EQ(t.nFwb, 0);
+    EXPECT_EQ(t.nSfrm, 0); // A_MM >= B_MM·W: no spare for SFRM either
+}
+
+TEST(SolveSectored, FillBypassAloneWhenSufficient)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 30;
+    in.aMm = 2;
+    in.readMisses = 20;
+    in.writes = 5;
+    in.cleanHits = 5;
+    // N_FWB = 30 - K*2 = 30 - 6 = 24, capped by the needed
+    // partitioning 30 - 19 = 11, which fits within R_m: sufficient.
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_TRUE(t.active);
+    EXPECT_EQ(t.nFwb, 11);
+    EXPECT_EQ(t.nWb, 0);
+    EXPECT_EQ(t.nIfrm, 0);
+    // SFRM: 0.8 * (7 - 2) = 4.
+    EXPECT_EQ(t.nSfrm, 4);
+}
+
+TEST(SolveSectored, CascadesToWriteBypass)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 40;
+    in.aMm = 2;
+    in.readMisses = 5; // fill bypass insufficient
+    in.writes = 20;
+    in.cleanHits = 10;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_TRUE(t.active);
+    EXPECT_EQ(t.nFwb, 5); // capped at R_m
+    // (1+K) N_WB = 40 - 6 - 5 = 29 -> N_WB = floor(29*4/15) = 7.
+    EXPECT_EQ(t.nWb, 7);
+    EXPECT_EQ(t.nIfrm, 0);
+    // Spare MM = 7 - (2 + 7) < 0.
+    EXPECT_EQ(t.nSfrm, 0);
+}
+
+TEST(SolveSectored, CascadesToIfrm)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 60;
+    in.aMm = 2;
+    in.readMisses = 5;
+    in.writes = 4; // write bypass insufficient too
+    in.cleanHits = 30;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_TRUE(t.active);
+    EXPECT_EQ(t.nFwb, 5);
+    EXPECT_EQ(t.nWb, 4); // capped at W_m
+    // (1+K) N_IFRM = 60 - K*(2+4) - 5 - 4 = 60 - 17 - 9 = 34
+    //  -> N_IFRM = floor(34*4/15) = 9.
+    EXPECT_EQ(t.nIfrm, 9);
+    EXPECT_EQ(t.nSfrm, 0); // 7 - (2+4+9) < 0
+}
+
+TEST(SolveSectored, IfrmCappedByCleanHits)
+{
+    SectoredInput in = baseInput();
+    in.aMs = 60;
+    in.aMm = 2;
+    in.readMisses = 5;
+    in.writes = 4;
+    in.cleanHits = 3;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_EQ(t.nIfrm, 3);
+}
+
+TEST(SolveSectored, SfrmUsesEightyPercentOfSpare)
+{
+    SectoredInput in = baseInput();
+    in.bMmW = 20;
+    in.aMs = 25;
+    in.aMm = 0;
+    in.readMisses = 10;
+    const Targets t = solveSectored(in, paperK());
+    EXPECT_TRUE(t.active);
+    // Spare = 20 - 0 = 20 -> SFRM = 16.
+    EXPECT_EQ(t.nSfrm, 16);
+}
+
+TEST(SolveSectored, TargetCapBoundsEveryTechnique)
+{
+    SectoredInput in = baseInput();
+    in.bMsW = 10;
+    in.bMmW = 1000;
+    in.aMs = 2000;
+    in.aMm = 1;
+    in.readMisses = 500;
+    in.writes = 500;
+    in.cleanHits = 500;
+    const Targets t = solveSectored(in, paperK(), 0.8, 63);
+    EXPECT_LE(t.nFwb, 63);
+    EXPECT_LE(t.nWb, 63);
+    EXPECT_LE(t.nIfrm, 63);
+    EXPECT_LE(t.nSfrm, 63);
+}
+
+TEST(SolveAlloy, IfrmOnly)
+{
+    AlloyInput in;
+    in.bMsW = 12; // already derated by the 2/3 TAD factor
+    in.bMmW = 7;
+    in.aMs = 30;
+    in.aMm = 2;
+    in.cleanHits = 10;
+    const Targets t = solveAlloy(in, paperK());
+    EXPECT_TRUE(t.active);
+    // (1+K) N_IFRM = 30 - 6 = 24 -> floor(24*4/15) = 6.
+    EXPECT_EQ(t.nIfrm, 6);
+    EXPECT_EQ(t.nFwb, 0); // Alloy has no explicit FWB/WB
+    EXPECT_EQ(t.nWb, 0);
+    EXPECT_EQ(t.nSfrm, 0);
+    // Spare = 7 - (2+6) < 0: no write-through budget.
+    EXPECT_EQ(t.nWriteThrough, 0);
+}
+
+TEST(SolveAlloy, WriteThroughOnlyWhilePartitioning)
+{
+    AlloyInput in;
+    in.bMsW = 12;
+    in.bMmW = 7;
+    in.aMs = 10; // within bandwidth: no IFRM, so no write-through
+    in.aMm = 2;
+    const Targets quiet = solveAlloy(in, paperK());
+    EXPECT_FALSE(quiet.active);
+    EXPECT_EQ(quiet.nWriteThrough, 0);
+
+    in.aMs = 16; // shortage: IFRM plus residual-funded write-through
+    in.aMm = 1;
+    in.cleanHits = 2;
+    const Targets busy = solveAlloy(in, paperK());
+    EXPECT_TRUE(busy.active);
+    // IFRM = min(floor((16 - 3)*4/15) = 3, cleanHits 2) = 2;
+    // WT = 0.8 * (7 - 1 - 2) = 3.
+    EXPECT_EQ(busy.nIfrm, 2);
+    EXPECT_EQ(busy.nWriteThrough, 3);
+}
+
+TEST(SolveAlloy, IfrmCappedByKnownCleanHits)
+{
+    AlloyInput in;
+    in.bMsW = 12;
+    in.bMmW = 7;
+    in.aMs = 30;
+    in.aMm = 2;
+    in.cleanHits = 2;
+    const Targets t = solveAlloy(in, paperK());
+    EXPECT_EQ(t.nIfrm, 2);
+}
+
+FixedRatio
+edramK()
+{
+    return FixedRatio::quantize(51.2 / 38.4, 2); // 4/3 -> 5/4
+}
+
+EdramInput
+edramBase()
+{
+    EdramInput in;
+    in.bMsReadW = 9;
+    in.bMsWriteW = 9;
+    in.bMmW = 7;
+    return in;
+}
+
+TEST(SolveEdram, NoShortageNoPartitioning)
+{
+    EdramInput in = edramBase();
+    in.aMsRead = 9;
+    in.aMsWrite = 9;
+    const Targets t = solveEdram(in, edramK());
+    EXPECT_FALSE(t.active);
+}
+
+TEST(SolveEdram, CaseIReadShortageUsesIfrm)
+{
+    EdramInput in = edramBase();
+    in.aMsRead = 15;
+    in.aMsWrite = 5;
+    in.aMm = 4;
+    in.cleanHits = 8;
+    const Targets t = solveEdram(in, edramK());
+    EXPECT_TRUE(t.active);
+    // (1+K) N_IFRM = 15 - K*4 = 15 - 5 = 10 -> floor(10*4/9) = 4.
+    EXPECT_EQ(t.nIfrm, 4);
+    EXPECT_EQ(t.nFwb, 0);
+    EXPECT_EQ(t.nWb, 0);
+}
+
+TEST(SolveEdram, CaseIIWriteShortageUsesFwbThenWb)
+{
+    EdramInput in = edramBase();
+    in.aMsRead = 5;
+    in.aMsWrite = 20;
+    in.aMm = 4;
+    in.readMisses = 6;
+    in.writes = 10;
+    const Targets t = solveEdram(in, edramK());
+    EXPECT_TRUE(t.active);
+    // N_FWB = 20 - 5 = 15, capped by needed 11, then by R_m = 6.
+    EXPECT_EQ(t.nFwb, 6);
+    // (1+K) N_WB = 20 - 6 - 5 = 9 -> floor(9*4/9) = 4.
+    EXPECT_EQ(t.nWb, 4);
+    EXPECT_EQ(t.nIfrm, 0);
+}
+
+TEST(SolveEdram, CaseIIIBothShortSolvesSimultaneously)
+{
+    EdramInput in = edramBase();
+    in.aMsRead = 15;
+    in.aMsWrite = 20;
+    in.aMm = 2;
+    in.readMisses = 6;
+    in.writes = 10;
+    in.cleanHits = 12;
+    const Targets t = solveEdram(in, edramK());
+    EXPECT_TRUE(t.active);
+    EXPECT_EQ(t.nFwb, 6);
+    // (2K+1) N_WB = (K+1)(20-6) - K*15 - K*2 = 32 - 19 - 3 = 10
+    //  -> floor(10*4/14) = 2.
+    EXPECT_EQ(t.nWb, 2);
+    // (2K+1) N_IFRM = (K+1)*15 - K*14 - K*2 = 34 - 18 - 3 = 13
+    //  -> floor(13*4/14) = 3.
+    EXPECT_EQ(t.nIfrm, 3);
+}
+
+TEST(SolveEdram, NoSfrmEver)
+{
+    // eDRAM metadata is on die: SFRM never applies (Section IV-C).
+    EdramInput in = edramBase();
+    in.aMsRead = 100;
+    in.aMsWrite = 100;
+    in.readMisses = 50;
+    in.writes = 50;
+    in.cleanHits = 50;
+    EXPECT_EQ(solveEdram(in, edramK()).nSfrm, 0);
+}
+
+/**
+ * Property sweep: for random inputs every target is non-negative,
+ * respects its cap, and partitioning only activates under demand
+ * pressure.
+ */
+class SolverProperties : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverProperties, SectoredInvariants)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+    auto rnd = [&x](std::int64_t lo, std::int64_t hi) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lo + static_cast<std::int64_t>((x >> 16) %
+                                              static_cast<std::uint64_t>(
+                                                  hi - lo + 1));
+    };
+    const FixedRatio k = paperK();
+    for (int i = 0; i < 500; ++i) {
+        SectoredInput in;
+        in.aMs = rnd(0, 100);
+        in.aMm = rnd(0, 40);
+        in.readMisses = rnd(0, 60);
+        in.writes = rnd(0, 60);
+        in.cleanHits = rnd(0, 60);
+        in.bMsW = rnd(1, 40);
+        in.bMmW = rnd(1, 20);
+        const Targets t = solveSectored(in, k);
+        EXPECT_GE(t.nFwb, 0);
+        EXPECT_GE(t.nWb, 0);
+        EXPECT_GE(t.nIfrm, 0);
+        EXPECT_GE(t.nSfrm, 0);
+        EXPECT_LE(t.nFwb, std::min<std::int64_t>(in.readMisses, 63));
+        EXPECT_LE(t.nWb, std::min<std::int64_t>(in.writes, 63));
+        EXPECT_LE(t.nIfrm, std::min<std::int64_t>(in.cleanHits, 63));
+        EXPECT_LE(t.nSfrm, 63);
+        if (in.aMs <= in.bMsW) {
+            EXPECT_FALSE(t.active);
+            EXPECT_EQ(t.nFwb + t.nWb + t.nIfrm, 0);
+            // SFRM alone may still use spare memory bandwidth.
+            if (in.aMm >= in.bMmW)
+                EXPECT_EQ(t.nSfrm, 0);
+        }
+    }
+}
+
+TEST_P(SolverProperties, EdramInvariants)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(GetParam()) * 40503u + 7;
+    auto rnd = [&x](std::int64_t lo, std::int64_t hi) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lo + static_cast<std::int64_t>((x >> 16) %
+                                              static_cast<std::uint64_t>(
+                                                  hi - lo + 1));
+    };
+    const FixedRatio k = edramK();
+    for (int i = 0; i < 500; ++i) {
+        EdramInput in;
+        in.aMsRead = rnd(0, 80);
+        in.aMsWrite = rnd(0, 80);
+        in.aMm = rnd(0, 40);
+        in.readMisses = rnd(0, 50);
+        in.writes = rnd(0, 50);
+        in.cleanHits = rnd(0, 50);
+        in.bMsReadW = rnd(1, 30);
+        in.bMsWriteW = rnd(1, 30);
+        in.bMmW = rnd(1, 20);
+        const Targets t = solveEdram(in, k);
+        EXPECT_GE(t.nFwb, 0);
+        EXPECT_GE(t.nWb, 0);
+        EXPECT_GE(t.nIfrm, 0);
+        EXPECT_EQ(t.nSfrm, 0);
+        EXPECT_LE(t.nFwb, std::min<std::int64_t>(in.readMisses, 63));
+        EXPECT_LE(t.nWb, std::min<std::int64_t>(in.writes, 63));
+        EXPECT_LE(t.nIfrm, std::min<std::int64_t>(in.cleanHits, 63));
+        if (in.aMsRead <= in.bMsReadW && in.aMsWrite <= in.bMsWriteW)
+            EXPECT_FALSE(t.active);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperties,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace dapsim::dap

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the Alloy cache's dirty-bit cache (DBC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/dirty_bit_cache.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+DirtyBitCacheConfig
+smallConfig()
+{
+    DirtyBitCacheConfig c;
+    c.entries = 16;
+    c.ways = 4;
+    c.setsPerEntry = 64;
+    return c;
+}
+
+TEST(DirtyBitCache, MissAllocatesConservatively)
+{
+    DirtyBitCache dbc(smallConfig());
+    const auto p = dbc.probe(5);
+    EXPECT_FALSE(p.hit); // unknown: caller must assume dirty
+    EXPECT_EQ(dbc.misses.value(), 1u);
+}
+
+TEST(DirtyBitCache, UnknownBitsReportNotHitEvenWhenGroupResident)
+{
+    DirtyBitCache dbc(smallConfig());
+    dbc.probe(5);          // allocate the group
+    dbc.update(5, false);  // set 5 now known clean
+    const auto known = dbc.probe(5);
+    EXPECT_TRUE(known.hit);
+    EXPECT_FALSE(known.dirty);
+    // Set 6 is in the same group but was never observed.
+    const auto unknown = dbc.probe(6);
+    EXPECT_FALSE(unknown.hit);
+}
+
+TEST(DirtyBitCache, TracksDirtyTransitions)
+{
+    DirtyBitCache dbc(smallConfig());
+    dbc.probe(10);
+    dbc.update(10, true);
+    EXPECT_TRUE(dbc.probe(10).dirty);
+    dbc.update(10, false);
+    EXPECT_FALSE(dbc.probe(10).dirty);
+}
+
+TEST(DirtyBitCache, GroupsOf64ConsecutiveSets)
+{
+    DirtyBitCache dbc(smallConfig());
+    dbc.probe(0); // allocates group 0 (sets 0..63)
+    dbc.update(0, false);
+    dbc.update(63, true);
+    EXPECT_TRUE(dbc.probe(0).hit);
+    EXPECT_TRUE(dbc.probe(63).hit);
+    EXPECT_FALSE(dbc.probe(0).dirty);
+    EXPECT_TRUE(dbc.probe(63).dirty);
+    // Set 64 belongs to the next group: a fresh miss.
+    EXPECT_FALSE(dbc.probe(64).hit);
+}
+
+TEST(DirtyBitCache, UpdateOnAbsentGroupIsIgnored)
+{
+    DirtyBitCache dbc(smallConfig());
+    dbc.update(999 * 64, false); // never probed: no allocation
+    EXPECT_FALSE(dbc.probe(999 * 64).hit);
+}
+
+TEST(DirtyBitCache, HitRateImprovesWithLocality)
+{
+    DirtyBitCache dbc(smallConfig());
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t s = 0; s < 64; ++s) {
+            dbc.probe(s);
+            dbc.update(s, false);
+        }
+    // After the first cold round everything hits.
+    EXPECT_GT(dbc.hits.value(), dbc.misses.value() * 5);
+}
+
+} // namespace
+} // namespace dapsim

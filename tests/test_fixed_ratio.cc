@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the hardware-friendly rational K (FixedRatio).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_ratio.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+TEST(FixedRatio, PaperExampleEightThirdsIsElevenFourths)
+{
+    // Section IV-A: K = 102.4/38.4 = 8/3 is approximated as 11/4.
+    const FixedRatio k = FixedRatio::quantize(102.4 / 38.4, 2);
+    EXPECT_EQ(k.numerator(), 11u);
+    EXPECT_EQ(k.denominator(), 4u);
+    EXPECT_NEAR(k.value(), 2.75, 1e-12);
+}
+
+TEST(FixedRatio, ExactQuartersAreExact)
+{
+    const FixedRatio k = FixedRatio::quantize(1.75, 2);
+    EXPECT_EQ(k.numerator(), 7u);
+    EXPECT_EQ(k.denominator(), 4u);
+}
+
+TEST(FixedRatio, IntegerRatio)
+{
+    const FixedRatio k = FixedRatio::quantize(2.0, 2);
+    EXPECT_EQ(k.numerator(), 8u);
+    EXPECT_NEAR(k.value(), 2.0, 1e-12);
+}
+
+TEST(FixedRatio, SmallRatioNeverQuantizesToZero)
+{
+    const FixedRatio k = FixedRatio::quantize(0.01, 2);
+    EXPECT_GE(k.numerator(), 1u);
+}
+
+TEST(FixedRatio, MulMatchesRoundedProduct)
+{
+    const FixedRatio k = FixedRatio::quantize(2.75, 2); // 11/4
+    EXPECT_EQ(k.mul(4), 11);
+    EXPECT_EQ(k.mul(8), 22);
+    EXPECT_EQ(k.mul(100), 275);
+    // 2.75 * 3 = 8.25 -> rounds to 8
+    EXPECT_EQ(k.mul(3), 8);
+    // 2.75 * 2 = 5.5 -> rounds (half up) to 6
+    EXPECT_EQ(k.mul(2), 6);
+}
+
+TEST(FixedRatio, MulPlusOne)
+{
+    const FixedRatio k = FixedRatio::quantize(2.75, 2);
+    // (K+1) * 4 = 15
+    EXPECT_EQ(k.mulPlusOne(4), 15);
+    EXPECT_EQ(k.mulPlusOne(8), 30);
+}
+
+TEST(FixedRatio, MulTwoKPlusOne)
+{
+    const FixedRatio k = FixedRatio::quantize(2.75, 2);
+    // (2K+1) * 4 = 26
+    EXPECT_EQ(k.mulTwoKPlusOne(4), 26);
+}
+
+TEST(FixedRatio, DivByKPlusOneRoundTripsWithinOne)
+{
+    // mulPlusOne rounds to nearest while the divide floors, so the
+    // round trip may lose at most one unit (the hardware behaves the
+    // same way).
+    const FixedRatio k = FixedRatio::quantize(2.75, 2);
+    for (std::int64_t n = 0; n < 100; ++n) {
+        const std::int64_t back = k.divByKPlusOne(k.mulPlusOne(n));
+        EXPECT_LE(std::abs(back - n), 1) << "n=" << n;
+    }
+}
+
+TEST(FixedRatio, DivByTwoKPlusOneRoundTripsWithinOne)
+{
+    const FixedRatio k = FixedRatio::quantize(1.5, 2);
+    for (std::int64_t n = 0; n < 100; ++n) {
+        const std::int64_t back =
+            k.divByTwoKPlusOne(k.mulTwoKPlusOne(n));
+        EXPECT_LE(std::abs(back - n), 1) << "n=" << n;
+    }
+}
+
+TEST(FixedRatioDeathTest, NonPositiveRatioIsFatal)
+{
+    EXPECT_DEATH((void)FixedRatio::quantize(0.0, 2), "positive");
+    EXPECT_DEATH((void)FixedRatio::quantize(-1.0, 2), "positive");
+}
+
+/** Property sweep: quantization error is bounded by half an ulp. */
+class FixedRatioQuantize
+    : public ::testing::TestWithParam<std::tuple<double, unsigned>>
+{
+};
+
+TEST_P(FixedRatioQuantize, ErrorWithinHalfStep)
+{
+    const auto [value, shift] = GetParam();
+    const FixedRatio k = FixedRatio::quantize(value, shift);
+    const double step = 1.0 / static_cast<double>(1ULL << shift);
+    if (value < step / 2) {
+        // Values that would quantize to zero are clamped to one ulp so
+        // K stays usable in the divide-free counters.
+        EXPECT_EQ(k.numerator(), 1u);
+    } else {
+        EXPECT_LE(std::abs(k.value() - value), step / 2 + 1e-12)
+            << "value=" << value << " shift=" << shift;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedRatioQuantize,
+    ::testing::Combine(::testing::Values(0.37, 1.0, 8.0 / 3.0, 2.0,
+                                         3.999, 5.21, 10.66),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 8u)));
+
+} // namespace
+} // namespace dapsim

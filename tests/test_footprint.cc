@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the footprint prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memside/footprint_prefetcher.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+FootprintConfig
+smallConfig()
+{
+    FootprintConfig c;
+    c.tableEntries = 64;
+    c.coldRunLength = 4;
+    return c;
+}
+
+TEST(Footprint, ColdPredictionIsAShortRun)
+{
+    FootprintPrefetcher fp(smallConfig(), 64);
+    const std::uint64_t mask = fp.predict(100, 10);
+    EXPECT_EQ(mask, 0xFULL << 10); // blocks 10..13
+}
+
+TEST(Footprint, ColdRunClipsAtSectorEnd)
+{
+    FootprintPrefetcher fp(smallConfig(), 64);
+    const std::uint64_t mask = fp.predict(100, 62);
+    EXPECT_EQ(mask, (1ULL << 62) | (1ULL << 63));
+}
+
+TEST(Footprint, DemandBlockAlwaysIncluded)
+{
+    FootprintPrefetcher fp(smallConfig(), 64);
+    fp.recordEviction(7, 0x3); // history says blocks 0,1
+    const std::uint64_t mask = fp.predict(7, 40);
+    EXPECT_TRUE(mask & (1ULL << 40));
+    EXPECT_TRUE(mask & 0x3);
+}
+
+TEST(Footprint, LearnsRecordedFootprint)
+{
+    FootprintPrefetcher fp(smallConfig(), 64);
+    const std::uint64_t used = 0xFF00FF00FF00FF00ULL;
+    fp.recordEviction(9, used);
+    const std::uint64_t mask = fp.predict(9, 8);
+    EXPECT_EQ(mask, used | (1ULL << 8));
+    EXPECT_EQ(fp.historyHits.value(), 1u);
+}
+
+TEST(Footprint, EmptyHistoryFallsBackToCold)
+{
+    FootprintPrefetcher fp(smallConfig(), 64);
+    fp.recordEviction(9, 0); // sector evicted untouched
+    const std::uint64_t mask = fp.predict(9, 0);
+    EXPECT_EQ(mask, 0xFULL); // cold run again, not an empty fetch
+}
+
+TEST(Footprint, DisabledFetchesOnlyDemand)
+{
+    FootprintConfig c = smallConfig();
+    c.enabled = false;
+    FootprintPrefetcher fp(c, 64);
+    EXPECT_EQ(fp.predict(3, 17), 1ULL << 17);
+}
+
+TEST(Footprint, TableCollisionsReplaceHistory)
+{
+    FootprintConfig c;
+    c.tableEntries = 1; // every sector collides
+    FootprintPrefetcher fp(c, 64);
+    fp.recordEviction(1, 0xF0);
+    fp.recordEviction(2, 0x0F);
+    // Sector 1's history was overwritten by sector 2.
+    const std::uint64_t mask = fp.predict(1, 0);
+    EXPECT_NE(mask & 0xFF, 0xF0u | 1u);
+}
+
+TEST(FootprintDeathTest, SectorSizeBounds)
+{
+    FootprintConfig c = smallConfig();
+    EXPECT_DEATH(FootprintPrefetcher(c, 0), "1..64");
+    EXPECT_DEATH(FootprintPrefetcher(c, 65), "1..64");
+}
+
+TEST(Footprint, SmallSectors)
+{
+    FootprintPrefetcher fp(smallConfig(), 16); // 1 KB eDRAM sectors
+    const std::uint64_t mask = fp.predict(5, 14);
+    EXPECT_EQ(mask, (1ULL << 14) | (1ULL << 15));
+}
+
+} // namespace
+} // namespace dapsim

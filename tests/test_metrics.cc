@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for result aggregation and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+TEST(Metrics, GeomeanOfEqualValues)
+{
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, GeomeanEmptyIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(MetricsDeathTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH((void)geomean({1.0, 0.0}), "positive");
+}
+
+TEST(Metrics, Mean)
+{
+    EXPECT_NEAR(mean({1.0, 2.0, 6.0}), 3.0, 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Metrics, ThroughputSumsIpc)
+{
+    RunResult r;
+    r.ipc = {0.5, 0.25, 0.25};
+    EXPECT_NEAR(r.throughput(), 1.0, 1e-12);
+}
+
+TEST(Metrics, WeightedSpeedup)
+{
+    RunResult r;
+    r.ipc = {1.0, 2.0};
+    EXPECT_NEAR(r.weightedSpeedup({2.0, 2.0}), 1.5, 1e-12);
+}
+
+TEST(MetricsDeathTest, WeightedSpeedupSizeMismatch)
+{
+    RunResult r;
+    r.ipc = {1.0};
+    EXPECT_DEATH((void)r.weightedSpeedup({1.0, 1.0}), "mismatch");
+}
+
+TEST(Metrics, DecisionFractionsSumToOne)
+{
+    RunResult r;
+    r.fwb = 10;
+    r.wb = 20;
+    r.ifrm = 30;
+    r.sfrm = 40;
+    EXPECT_NEAR(r.fwbFraction(), 0.1, 1e-12);
+    EXPECT_NEAR(r.wbFraction(), 0.2, 1e-12);
+    EXPECT_NEAR(r.ifrmFraction(), 0.3, 1e-12);
+    EXPECT_NEAR(r.sfrmFraction(), 0.4, 1e-12);
+    EXPECT_NEAR(r.fwbFraction() + r.wbFraction() + r.ifrmFraction() +
+                    r.sfrmFraction(),
+                1.0, 1e-12);
+}
+
+TEST(Metrics, DecisionFractionsZeroWhenNoDecisions)
+{
+    RunResult r;
+    EXPECT_EQ(r.fwbFraction(), 0.0);
+    EXPECT_EQ(r.sfrmFraction(), 0.0);
+}
+
+} // namespace
+} // namespace dapsim

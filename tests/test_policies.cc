@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the comparison policies: SBD / SBD-WT, BATMAN, BEAR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/batman.hh"
+#include "policies/bear.hh"
+#include "policies/sbd.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+// ---------------------------------------------------------- SBD ----
+
+SbdConfig
+sbdConfig()
+{
+    SbdConfig c;
+    c.dirtyListCapacity = 4;
+    c.writeThreshold = 3;
+    return c;
+}
+
+TEST(Sbd, HotWrittenPagesEnterDirtyList)
+{
+    SbdPolicy sbd(sbdConfig());
+    const Addr page = 0x10000;
+    EXPECT_FALSE(sbd.inDirtyList(page));
+    for (int i = 0; i < 3; ++i)
+        sbd.noteWrite(page + static_cast<Addr>(i) * 64);
+    EXPECT_TRUE(sbd.inDirtyList(page));
+}
+
+TEST(Sbd, NonDirtyPagesAreWriteThrough)
+{
+    SbdPolicy sbd(sbdConfig());
+    EXPECT_TRUE(sbd.shouldWriteThrough(0x555000));
+    for (int i = 0; i < 5; ++i)
+        sbd.noteWrite(0x555000);
+    EXPECT_FALSE(sbd.shouldWriteThrough(0x555000));
+}
+
+TEST(Sbd, DirtyListPagesNeverSteerToMemory)
+{
+    SbdPolicy sbd(sbdConfig());
+    for (int i = 0; i < 5; ++i)
+        sbd.noteWrite(0x2000);
+    SteerInfo fast_mem;
+    fast_mem.predictedHit = true;
+    fast_mem.expectedCacheLatency = 1000.0;
+    fast_mem.expectedMemLatency = 10.0;
+    EXPECT_FALSE(sbd.steerToMemory(0x2000, fast_mem));
+}
+
+TEST(Sbd, PredictedMissesSteerToMemory)
+{
+    SbdPolicy sbd(sbdConfig());
+    SteerInfo info;
+    info.predictedHit = false;
+    info.expectedCacheLatency = 10.0;
+    info.expectedMemLatency = 1000.0;
+    EXPECT_TRUE(sbd.steerToMemory(0x9000, info));
+}
+
+TEST(Sbd, LatencyComparisonSteersPredictedHits)
+{
+    SbdPolicy sbd(sbdConfig());
+    SteerInfo info;
+    info.predictedHit = true;
+    info.expectedCacheLatency = 500.0;
+    info.expectedMemLatency = 100.0;
+    EXPECT_TRUE(sbd.steerToMemory(0x9000, info));
+    info.expectedMemLatency = 900.0;
+    EXPECT_FALSE(sbd.steerToMemory(0x9000, info));
+}
+
+TEST(Sbd, DirtyListOverflowForcesCleaning)
+{
+    SbdPolicy sbd(sbdConfig()); // capacity 4
+    for (Addr p = 0; p < 5; ++p)
+        for (int i = 0; i < 5; ++i)
+            sbd.noteWrite(p * 4096);
+    const auto cleans = sbd.collectCleaningRequests();
+    ASSERT_EQ(cleans.size(), 1u);
+    EXPECT_EQ(cleans[0], 0u); // the LRU page (page 0) fell out
+    EXPECT_EQ(sbd.pagesCleaned.value(), 1u);
+    // The queue is drained by collection.
+    EXPECT_TRUE(sbd.collectCleaningRequests().empty());
+}
+
+TEST(Sbd, WriteThroughVariantNeverCleans)
+{
+    SbdConfig c = sbdConfig();
+    c.writeThroughOnly = true;
+    SbdPolicy sbd(c);
+    for (Addr p = 0; p < 10; ++p)
+        for (int i = 0; i < 5; ++i)
+            sbd.noteWrite(p * 4096);
+    EXPECT_TRUE(sbd.collectCleaningRequests().empty());
+    EXPECT_EQ(sbd.pagesCleaned.value(), 0u);
+    EXPECT_STREQ(sbd.name(), "sbd-wt");
+}
+
+TEST(Sbd, RewritingKeepsPageResident)
+{
+    SbdPolicy sbd(sbdConfig());
+    for (int i = 0; i < 5; ++i)
+        sbd.noteWrite(0); // page 0 hot
+    for (Addr p = 1; p < 4; ++p)
+        for (int i = 0; i < 5; ++i)
+            sbd.noteWrite(p * 4096);
+    for (int i = 0; i < 5; ++i)
+        sbd.noteWrite(0); // re-touch page 0 to MRU
+    for (int i = 0; i < 5; ++i)
+        sbd.noteWrite(4 * 4096); // evicts page 1, not page 0
+    EXPECT_TRUE(sbd.inDirtyList(0));
+    EXPECT_FALSE(sbd.inDirtyList(1 * 4096));
+}
+
+// -------------------------------------------------------- BATMAN ----
+
+BatmanConfig
+batmanConfig()
+{
+    BatmanConfig c;
+    c.numSets = 1024;
+    c.targetHitRate = 0.73;
+    c.hysteresis = 0.02;
+    c.epochWindows = 4;
+    c.stepFraction = 1.0 / 64.0;
+    return c;
+}
+
+WindowCounters
+windowWithHitRate(double rate)
+{
+    WindowCounters w;
+    w.lookups = 1000;
+    w.hits = static_cast<std::uint64_t>(1000 * rate);
+    return w;
+}
+
+TEST(Batman, DisablesSetsWhenHitRateTooHigh)
+{
+    BatmanPolicy bat(batmanConfig());
+    EXPECT_EQ(bat.disabledSets(), 0u);
+    for (int i = 0; i < 4; ++i)
+        bat.beginWindow(windowWithHitRate(0.95));
+    EXPECT_EQ(bat.disabledSets(), 16u); // one step = 1024/64
+    const auto flush = bat.collectSetsToFlush();
+    EXPECT_EQ(flush.size(), 16u);
+    EXPECT_EQ(bat.adjustmentsUp.value(), 1u);
+}
+
+TEST(Batman, ReenablesWhenHitRateTooLow)
+{
+    BatmanPolicy bat(batmanConfig());
+    for (int i = 0; i < 4; ++i)
+        bat.beginWindow(windowWithHitRate(0.95));
+    for (int i = 0; i < 4; ++i)
+        bat.beginWindow(windowWithHitRate(0.40));
+    EXPECT_EQ(bat.disabledSets(), 0u);
+    EXPECT_EQ(bat.adjustmentsDown.value(), 1u);
+}
+
+TEST(Batman, InBandHitRateHolds)
+{
+    BatmanPolicy bat(batmanConfig());
+    for (int i = 0; i < 16; ++i)
+        bat.beginWindow(windowWithHitRate(0.73));
+    EXPECT_EQ(bat.disabledSets(), 0u);
+}
+
+TEST(Batman, DisabledFractionIsCapped)
+{
+    BatmanConfig c = batmanConfig();
+    c.maxDisabledFraction = 0.25;
+    BatmanPolicy bat(c);
+    for (int i = 0; i < 4000; ++i)
+        bat.beginWindow(windowWithHitRate(0.99));
+    EXPECT_LE(bat.disabledSets(), 256u);
+}
+
+TEST(Batman, DisabledSetsMatchPredicate)
+{
+    BatmanPolicy bat(batmanConfig());
+    for (int i = 0; i < 4; ++i)
+        bat.beginWindow(windowWithHitRate(0.95));
+    std::uint64_t n = 0;
+    for (std::uint64_t s = 0; s < 1024; ++s)
+        if (bat.isSetDisabled(s))
+            ++n;
+    EXPECT_EQ(n, bat.disabledSets());
+}
+
+TEST(Batman, EmptyEpochIsIgnored)
+{
+    BatmanPolicy bat(batmanConfig());
+    WindowCounters idle;
+    for (int i = 0; i < 16; ++i)
+        bat.beginWindow(idle);
+    EXPECT_EQ(bat.disabledSets(), 0u);
+}
+
+// ---------------------------------------------------------- BEAR ----
+
+TEST(Bear, NoReuseRegionsGetBypassed)
+{
+    BearConfig c;
+    c.bypassProbability = 1.0;
+    BearPolicy bear(c);
+    const Addr region = 0x7000;
+    // Train the region as never reused.
+    for (int i = 0; i < 8; ++i)
+        bear.noteReadOutcome(region, false);
+    EXPECT_TRUE(bear.shouldBypassFillForReuse(region));
+    EXPECT_GE(bear.bypasses.value(), 1u);
+}
+
+TEST(Bear, ReusedRegionsKeepFilling)
+{
+    BearConfig c;
+    c.bypassProbability = 1.0;
+    BearPolicy bear(c);
+    const Addr region = 0x8000;
+    for (int i = 0; i < 8; ++i)
+        bear.noteReadOutcome(region, true);
+    EXPECT_FALSE(bear.shouldBypassFillForReuse(region));
+}
+
+TEST(Bear, StartsNeutral)
+{
+    BearConfig c;
+    c.bypassProbability = 1.0;
+    BearPolicy bear(c);
+    // Initial confidence (2) means "fill" until misses accumulate.
+    EXPECT_FALSE(bear.shouldBypassFillForReuse(0x1234000));
+}
+
+TEST(Bear, BypassIsProbabilistic)
+{
+    BearConfig c;
+    c.bypassProbability = 0.5;
+    BearPolicy bear(c);
+    for (int i = 0; i < 8; ++i)
+        bear.noteReadOutcome(0, false);
+    int bypassed = 0;
+    for (int i = 0; i < 2000; ++i)
+        if (bear.shouldBypassFillForReuse(0))
+            ++bypassed;
+    EXPECT_NEAR(bypassed, 1000, 120);
+}
+
+TEST(PartitionPolicy, BaselineDefaultsAreAllNoOps)
+{
+    BaselinePolicy base;
+    EXPECT_FALSE(base.shouldBypassFill(0));
+    EXPECT_FALSE(base.shouldBypassWrite(0));
+    EXPECT_FALSE(base.shouldForceReadMiss(0));
+    EXPECT_FALSE(base.shouldSpeculateToMemory(0));
+    EXPECT_FALSE(base.shouldWriteThrough(0));
+    EXPECT_FALSE(base.isSetDisabled(0));
+    EXPECT_FALSE(base.steerToMemory(0, SteerInfo{}));
+    EXPECT_TRUE(base.collectCleaningRequests().empty());
+    EXPECT_TRUE(base.collectSetsToFlush().empty());
+    EXPECT_STREQ(base.name(), "baseline");
+}
+
+} // namespace
+} // namespace dapsim

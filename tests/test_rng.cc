@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the deterministic xorshift RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndOne)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, GapMeanApproximatesTarget)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.gap(40.0, 1'000'000));
+    EXPECT_NEAR(sum / n, 40.0, 2.0);
+}
+
+TEST(Rng, GapRespectsCap)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(r.gap(1000.0, 50), 50u);
+}
+
+TEST(Rng, GapOfMeanOneIsOne)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.gap(1.0, 100), 1u);
+}
+
+/** Uniformity sweep over several bucket counts. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, BelowIsRoughlyUniform)
+{
+    const std::uint64_t buckets = GetParam();
+    Rng r(buckets * 131);
+    std::vector<int> count(buckets, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++count[r.below(buckets)];
+    const double expect = static_cast<double>(n) / buckets;
+    for (std::uint64_t b = 0; b < buckets; ++b)
+        EXPECT_NEAR(count[b], expect, expect * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngUniformity,
+                         ::testing::Values(2, 5, 16, 64));
+
+} // namespace
+} // namespace dapsim

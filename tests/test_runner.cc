@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the experiment runner plumbing (mix width checks, result
+ * harvesting, warm-up defaulting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.sectored.capacityBytes = 4 * kMiB;
+    cfg.sectored.tagCache.entries = 128;
+    cfg.warmupAccessesPerCore = 5'000;
+    return cfg;
+}
+
+Mix
+tinyMix()
+{
+    WorkloadProfile w = workloadByName("bwaves");
+    w.params.footprintBytes = 256 * kKiB;
+    return rateMix(w, 8);
+}
+
+TEST(Runner, ResultCarriesMixAndPolicyNames)
+{
+    const RunResult r = runMix(tinySystem(), tinyMix(), 5'000);
+    EXPECT_EQ(r.mixName, "bwaves-rate8");
+    EXPECT_EQ(r.policyName, "baseline");
+}
+
+TEST(Runner, ReadBandwidthIsPositiveAndBounded)
+{
+    const RunResult r = runMix(tinySystem(), tinyMix(), 5'000);
+    EXPECT_GT(r.readGBps, 0.0);
+    // Cannot exceed the sum of all source bandwidths.
+    EXPECT_LT(r.readGBps, 102.4 + 38.4);
+}
+
+TEST(Runner, CyclesReflectSlowestCore)
+{
+    const RunResult r = runMix(tinySystem(), tinyMix(), 5'000);
+    for (double ipc : r.ipc) {
+        // cycles >= instructions / ipc for every core.
+        EXPECT_GE(static_cast<double>(r.cycles) * ipc, 5'000 * 0.99);
+    }
+}
+
+TEST(Runner, HeterogeneousMixRuns)
+{
+    const auto het = heterogeneousMixes();
+    ASSERT_FALSE(het.empty());
+    Mix mix = het.front();
+    for (auto &app : mix.apps)
+        app.params.footprintBytes = 256 * kKiB;
+    const RunResult r = runMix(tinySystem(), mix, 4'000);
+    EXPECT_EQ(r.ipc.size(), 8u);
+    EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST(Runner, ExplicitWarmupOverridesAuto)
+{
+    SystemConfig cfg = tinySystem();
+    cfg.warmupAccessesPerCore = 1; // effectively cold
+    const RunResult cold = runMix(cfg, tinyMix(), 5'000);
+    cfg.warmupAccessesPerCore = 50'000;
+    const RunResult warm = runMix(cfg, tinyMix(), 5'000);
+    EXPECT_GT(warm.msHitRatio, cold.msHitRatio);
+}
+
+TEST(RunnerDeathTest, MixWidthMustMatchCores)
+{
+    const Mix narrow = rateMix(workloadByName("bwaves"), 4);
+    EXPECT_DEATH((void)runMix(tinySystem(), narrow, 1'000), "width");
+}
+
+} // namespace
+} // namespace dapsim

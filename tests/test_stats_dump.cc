@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the gem5-style statistics dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+std::string
+runAndDump(MsArch arch, PolicyKind policy)
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.arch = arch;
+    cfg.sectored.capacityBytes = 8 * kMiB;
+    cfg.alloy.capacityBytes = 8 * kMiB;
+    cfg.edram.capacityBytes = 4 * kMiB;
+    cfg.policy = policy;
+    cfg.core.instructions = 3'000;
+    cfg.warmupAccessesPerCore = 5'000;
+
+    WorkloadProfile w = workloadByName("hpcg");
+    w.params.footprintBytes = 512 * kKiB;
+    std::vector<AccessGeneratorPtr> gens;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(w, i));
+    System sys(cfg, std::move(gens));
+    sys.warmup(cfg.warmupAccessesPerCore);
+    sys.run();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+TEST(StatsDump, ContainsCoreAndHierarchyRows)
+{
+    const std::string s = runAndDump(MsArch::Sectored,
+                                     PolicyKind::Baseline);
+    for (const char *key :
+         {"sim.cycles", "core0.ipc", "core7.reads", "l3.misses",
+          "ms.hitRatio", "ms.tagCache.missRatio", "msArray.casReads",
+          "mainMemory.casReads", "mainMemory.busUtilization"})
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+TEST(StatsDump, DapRowsOnlyUnderDap)
+{
+    EXPECT_EQ(runAndDump(MsArch::Sectored, PolicyKind::Baseline)
+                  .find("dap.fwbApplied"),
+              std::string::npos);
+    EXPECT_NE(runAndDump(MsArch::Sectored, PolicyKind::Dap)
+                  .find("dap.fwbApplied"),
+              std::string::npos);
+}
+
+TEST(StatsDump, EdramDumpsBothChannelSets)
+{
+    const std::string s =
+        runAndDump(MsArch::Edram, PolicyKind::Baseline);
+    EXPECT_NE(s.find("msReadArray.casReads"), std::string::npos);
+    EXPECT_NE(s.find("msWriteArray.casWrites"), std::string::npos);
+}
+
+TEST(StatsDump, EveryRowIsNameValue)
+{
+    std::istringstream is(
+        runAndDump(MsArch::Alloy, PolicyKind::Bear));
+    std::string line;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        ASSERT_FALSE(line.empty());
+        const auto space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        // The value parses as a number.
+        EXPECT_NO_THROW((void)std::stod(line.substr(space + 1)))
+            << line;
+        ++rows;
+    }
+    EXPECT_GT(rows, 40);
+}
+
+} // namespace
+} // namespace dapsim

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * dapsim — command-line simulation driver.
+ *
+ * Runs one simulation from the command line and prints the headline
+ * metrics (optionally a full gem5-style stats dump). Workloads are
+ * either named synthetic profiles (rate mode) or trace files.
+ *
+ * Examples:
+ *   dapsim --workload mcf --policy dap
+ *   dapsim --arch alloy --policy bear --instr 200000 --stats
+ *   dapsim --trace mem.trace --cores 4 --policy dap
+ *   dapsim --arch edram --capacity-mb 8 --workload hpcg
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+#include "trace/trace_file.hh"
+
+using namespace dapsim;
+
+namespace
+{
+
+struct Options
+{
+    std::string arch = "sectored";
+    std::string policy = "baseline";
+    std::string workload = "mcf";
+    std::string trace;
+    std::uint32_t cores = 8;
+    std::uint64_t instr = 120'000;
+    std::uint64_t capacityMb = 0; // 0 = preset default
+    Cycle window = 64;
+    double efficiency = 0.75;
+    std::uint64_t seed = 0;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dapsim [options]\n"
+        "  --arch sectored|alloy|edram|none   MS$ architecture\n"
+        "  --policy baseline|dap|sbd|sbd-wt|batman|bear\n"
+        "  --workload NAME      synthetic profile (see --list)\n"
+        "  --trace FILE         drive every core from a trace file\n"
+        "  --cores N            core count (default 8)\n"
+        "  --instr N            instructions per core (default 120000)\n"
+        "  --capacity-mb N      override MS$ capacity\n"
+        "  --window W           DAP window in CPU cycles (default 64)\n"
+        "  --efficiency E       DAP bandwidth efficiency (default 0.75)\n"
+        "  --seed N             workload seed salt\n"
+        "  --stats              dump full statistics\n"
+        "  --list               list workload profiles\n");
+    std::exit(1);
+}
+
+PolicyKind
+parsePolicy(const std::string &s)
+{
+    if (s == "baseline")
+        return PolicyKind::Baseline;
+    if (s == "dap")
+        return PolicyKind::Dap;
+    if (s == "sbd")
+        return PolicyKind::Sbd;
+    if (s == "sbd-wt")
+        return PolicyKind::SbdWt;
+    if (s == "batman")
+        return PolicyKind::Batman;
+    if (s == "bear")
+        return PolicyKind::Bear;
+    fatal("unknown policy: " + s);
+}
+
+SystemConfig
+buildConfig(const Options &opt)
+{
+    SystemConfig cfg;
+    if (opt.arch == "sectored") {
+        cfg = presets::sectoredSystem8();
+        if (opt.capacityMb)
+            cfg.sectored.capacityBytes = opt.capacityMb * kMiB;
+    } else if (opt.arch == "alloy") {
+        cfg = presets::alloySystem8();
+        if (opt.capacityMb)
+            cfg.alloy.capacityBytes = opt.capacityMb * kMiB;
+    } else if (opt.arch == "edram") {
+        cfg = presets::edramSystem8(opt.capacityMb ? opt.capacityMb : 4);
+    } else if (opt.arch == "none") {
+        cfg = presets::sectoredSystem8();
+        cfg.arch = MsArch::None;
+        cfg.warmupAccessesPerCore = 1;
+    } else {
+        fatal("unknown arch: " + opt.arch);
+    }
+    cfg.numCores = opt.cores;
+    cfg.core.instructions = opt.instr;
+    cfg.windowCycles = opt.window;
+    cfg.dap.efficiency = opt.efficiency;
+    cfg.policy = parsePolicy(opt.policy);
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (a == "--arch")
+            opt.arch = value();
+        else if (a == "--policy")
+            opt.policy = value();
+        else if (a == "--workload")
+            opt.workload = value();
+        else if (a == "--trace")
+            opt.trace = value();
+        else if (a == "--cores")
+            opt.cores = static_cast<std::uint32_t>(
+                std::stoul(value()));
+        else if (a == "--instr")
+            opt.instr = std::stoull(value());
+        else if (a == "--capacity-mb")
+            opt.capacityMb = std::stoull(value());
+        else if (a == "--window")
+            opt.window = std::stoull(value());
+        else if (a == "--efficiency")
+            opt.efficiency = std::stod(value());
+        else if (a == "--seed")
+            opt.seed = std::stoull(value());
+        else if (a == "--stats")
+            opt.stats = true;
+        else if (a == "--list") {
+            for (const auto &w : allWorkloads())
+                std::printf("%-18s %s\n", w.name.c_str(),
+                            w.bandwidthSensitive
+                                ? "bandwidth-sensitive"
+                                : "bandwidth-insensitive");
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    const SystemConfig cfg = buildConfig(opt);
+
+    std::vector<AccessGeneratorPtr> gens;
+    std::string mix_name;
+    if (!opt.trace.empty()) {
+        mix_name = opt.trace;
+        for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+            gens.push_back(std::make_unique<TraceFileGenerator>(
+                opt.trace, static_cast<Addr>(i) << 40));
+    } else {
+        const WorkloadProfile &w = workloadByName(opt.workload);
+        mix_name = w.name + "-rate" + std::to_string(cfg.numCores);
+        for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+            gens.push_back(makeGenerator(w, i, opt.seed));
+    }
+
+    System sys(cfg, std::move(gens));
+    std::uint64_t warm = cfg.warmupAccessesPerCore;
+    if (warm == 0)
+        warm = 2 * (cfg.msCapacityBytes() / kBlockBytes) / cfg.numCores;
+    sys.warmup(warm);
+    sys.run();
+
+    const RunResult r = harvest(sys, mix_name);
+    std::printf("mix %s  arch %s  policy %s\n", mix_name.c_str(),
+                opt.arch.c_str(), r.policyName.c_str());
+    std::printf("throughput %.3f IPC  cycles %llu\n", r.throughput(),
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("MS$ hit ratio %.3f  MM CAS fraction %.3f  "
+                "L3 read-miss latency %.1f ns\n",
+                r.msHitRatio, r.mmCasFraction,
+                r.avgL3ReadMissLatency / 1000.0);
+    if (r.fwb + r.wb + r.ifrm + r.sfrm > 0)
+        std::printf("DAP decisions: FWB %llu WB %llu IFRM %llu "
+                    "SFRM %llu\n",
+                    static_cast<unsigned long long>(r.fwb),
+                    static_cast<unsigned long long>(r.wb),
+                    static_cast<unsigned long long>(r.ifrm),
+                    static_cast<unsigned long long>(r.sfrm));
+    if (opt.stats) {
+        std::printf("---- stats ----\n");
+        sys.dumpStats(std::cout);
+    }
+    return 0;
+}
