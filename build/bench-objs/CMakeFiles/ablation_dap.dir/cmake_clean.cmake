@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dap"
+  "../bench/ablation_dap.pdb"
+  "CMakeFiles/ablation_dap.dir/ablation_dap.cpp.o"
+  "CMakeFiles/ablation_dap.dir/ablation_dap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

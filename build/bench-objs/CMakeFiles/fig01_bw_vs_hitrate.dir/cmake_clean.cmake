@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_bw_vs_hitrate"
+  "../bench/fig01_bw_vs_hitrate.pdb"
+  "CMakeFiles/fig01_bw_vs_hitrate.dir/fig01_bw_vs_hitrate.cpp.o"
+  "CMakeFiles/fig01_bw_vs_hitrate.dir/fig01_bw_vs_hitrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bw_vs_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

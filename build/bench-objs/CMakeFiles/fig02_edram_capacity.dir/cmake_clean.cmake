@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_edram_capacity"
+  "../bench/fig02_edram_capacity.pdb"
+  "CMakeFiles/fig02_edram_capacity.dir/fig02_edram_capacity.cpp.o"
+  "CMakeFiles/fig02_edram_capacity.dir/fig02_edram_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_edram_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

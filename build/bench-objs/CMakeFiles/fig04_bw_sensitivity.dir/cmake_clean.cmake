@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_bw_sensitivity"
+  "../bench/fig04_bw_sensitivity.pdb"
+  "CMakeFiles/fig04_bw_sensitivity.dir/fig04_bw_sensitivity.cpp.o"
+  "CMakeFiles/fig04_bw_sensitivity.dir/fig04_bw_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bw_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

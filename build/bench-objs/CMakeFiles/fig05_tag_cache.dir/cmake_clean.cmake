@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_tag_cache"
+  "../bench/fig05_tag_cache.pdb"
+  "CMakeFiles/fig05_tag_cache.dir/fig05_tag_cache.cpp.o"
+  "CMakeFiles/fig05_tag_cache.dir/fig05_tag_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tag_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

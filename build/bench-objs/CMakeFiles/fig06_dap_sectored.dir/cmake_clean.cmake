@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_dap_sectored"
+  "../bench/fig06_dap_sectored.pdb"
+  "CMakeFiles/fig06_dap_sectored.dir/fig06_dap_sectored.cpp.o"
+  "CMakeFiles/fig06_dap_sectored.dir/fig06_dap_sectored.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dap_sectored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

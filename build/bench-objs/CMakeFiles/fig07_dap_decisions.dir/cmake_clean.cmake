@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_dap_decisions"
+  "../bench/fig07_dap_decisions.pdb"
+  "CMakeFiles/fig07_dap_decisions.dir/fig07_dap_decisions.cpp.o"
+  "CMakeFiles/fig07_dap_decisions.dir/fig07_dap_decisions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dap_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_cas_fraction"
+  "../bench/fig08_cas_fraction.pdb"
+  "CMakeFiles/fig08_cas_fraction.dir/fig08_cas_fraction.cpp.o"
+  "CMakeFiles/fig08_cas_fraction.dir/fig08_cas_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cas_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mm_technology"
+  "../bench/fig09_mm_technology.pdb"
+  "CMakeFiles/fig09_mm_technology.dir/fig09_mm_technology.cpp.o"
+  "CMakeFiles/fig09_mm_technology.dir/fig09_mm_technology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mm_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_related"
+  "../bench/fig11_related.pdb"
+  "CMakeFiles/fig11_related.dir/fig11_related.cpp.o"
+  "CMakeFiles/fig11_related.dir/fig11_related.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

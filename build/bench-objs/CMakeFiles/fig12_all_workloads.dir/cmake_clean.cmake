@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_all_workloads"
+  "../bench/fig12_all_workloads.pdb"
+  "CMakeFiles/fig12_all_workloads.dir/fig12_all_workloads.cpp.o"
+  "CMakeFiles/fig12_all_workloads.dir/fig12_all_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_all_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

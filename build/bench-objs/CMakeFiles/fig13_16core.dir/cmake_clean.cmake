@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_16core"
+  "../bench/fig13_16core.pdb"
+  "CMakeFiles/fig13_16core.dir/fig13_16core.cpp.o"
+  "CMakeFiles/fig13_16core.dir/fig13_16core.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_16core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

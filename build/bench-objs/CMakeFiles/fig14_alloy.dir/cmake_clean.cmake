@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_alloy"
+  "../bench/fig14_alloy.pdb"
+  "CMakeFiles/fig14_alloy.dir/fig14_alloy.cpp.o"
+  "CMakeFiles/fig14_alloy.dir/fig14_alloy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

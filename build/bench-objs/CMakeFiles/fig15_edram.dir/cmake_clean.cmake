@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_edram"
+  "../bench/fig15_edram.pdb"
+  "CMakeFiles/fig15_edram.dir/fig15_edram.cpp.o"
+  "CMakeFiles/fig15_edram.dir/fig15_edram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_edram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sensitivity"
+  "../bench/table1_sensitivity.pdb"
+  "CMakeFiles/table1_sensitivity.dir/table1_sensitivity.cpp.o"
+  "CMakeFiles/table1_sensitivity.dir/table1_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_cache.dir/cache/dirty_bit_cache.cc.o"
+  "CMakeFiles/dapsim_cache.dir/cache/dirty_bit_cache.cc.o.d"
+  "CMakeFiles/dapsim_cache.dir/cache/tag_cache.cc.o"
+  "CMakeFiles/dapsim_cache.dir/cache/tag_cache.cc.o.d"
+  "libdapsim_cache.a"
+  "libdapsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_common.dir/common/event_queue.cc.o"
+  "CMakeFiles/dapsim_common.dir/common/event_queue.cc.o.d"
+  "CMakeFiles/dapsim_common.dir/common/fixed_ratio.cc.o"
+  "CMakeFiles/dapsim_common.dir/common/fixed_ratio.cc.o.d"
+  "CMakeFiles/dapsim_common.dir/common/stats.cc.o"
+  "CMakeFiles/dapsim_common.dir/common/stats.cc.o.d"
+  "libdapsim_common.a"
+  "libdapsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdapsim_common.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/rob_core.cc" "src/CMakeFiles/dapsim_cpu.dir/cpu/rob_core.cc.o" "gcc" "src/CMakeFiles/dapsim_cpu.dir/cpu/rob_core.cc.o.d"
+  "/root/repo/src/cpu/stride_prefetcher.cc" "src/CMakeFiles/dapsim_cpu.dir/cpu/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/dapsim_cpu.dir/cpu/stride_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_cpu.dir/cpu/rob_core.cc.o"
+  "CMakeFiles/dapsim_cpu.dir/cpu/rob_core.cc.o.d"
+  "CMakeFiles/dapsim_cpu.dir/cpu/stride_prefetcher.cc.o"
+  "CMakeFiles/dapsim_cpu.dir/cpu/stride_prefetcher.cc.o.d"
+  "libdapsim_cpu.a"
+  "libdapsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

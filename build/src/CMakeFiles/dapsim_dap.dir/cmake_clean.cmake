@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_dap.dir/dap/bandwidth_model.cc.o"
+  "CMakeFiles/dapsim_dap.dir/dap/bandwidth_model.cc.o.d"
+  "CMakeFiles/dapsim_dap.dir/dap/dap_controller.cc.o"
+  "CMakeFiles/dapsim_dap.dir/dap/dap_controller.cc.o.d"
+  "CMakeFiles/dapsim_dap.dir/dap/dap_solver.cc.o"
+  "CMakeFiles/dapsim_dap.dir/dap/dap_solver.cc.o.d"
+  "libdapsim_dap.a"
+  "libdapsim_dap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_dap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/dapsim_dram.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/dapsim_dram.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/dapsim_dram.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/dapsim_dram.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/dram_config.cc" "src/CMakeFiles/dapsim_dram.dir/dram/dram_config.cc.o" "gcc" "src/CMakeFiles/dapsim_dram.dir/dram/dram_config.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/CMakeFiles/dapsim_dram.dir/dram/dram_system.cc.o" "gcc" "src/CMakeFiles/dapsim_dram.dir/dram/dram_system.cc.o.d"
+  "/root/repo/src/dram/presets.cc" "src/CMakeFiles/dapsim_dram.dir/dram/presets.cc.o" "gcc" "src/CMakeFiles/dapsim_dram.dir/dram/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_dram.dir/dram/bank.cc.o"
+  "CMakeFiles/dapsim_dram.dir/dram/bank.cc.o.d"
+  "CMakeFiles/dapsim_dram.dir/dram/channel.cc.o"
+  "CMakeFiles/dapsim_dram.dir/dram/channel.cc.o.d"
+  "CMakeFiles/dapsim_dram.dir/dram/dram_config.cc.o"
+  "CMakeFiles/dapsim_dram.dir/dram/dram_config.cc.o.d"
+  "CMakeFiles/dapsim_dram.dir/dram/dram_system.cc.o"
+  "CMakeFiles/dapsim_dram.dir/dram/dram_system.cc.o.d"
+  "CMakeFiles/dapsim_dram.dir/dram/presets.cc.o"
+  "CMakeFiles/dapsim_dram.dir/dram/presets.cc.o.d"
+  "libdapsim_dram.a"
+  "libdapsim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

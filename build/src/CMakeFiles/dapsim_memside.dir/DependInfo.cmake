@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memside/alloy_cache.cc" "src/CMakeFiles/dapsim_memside.dir/memside/alloy_cache.cc.o" "gcc" "src/CMakeFiles/dapsim_memside.dir/memside/alloy_cache.cc.o.d"
+  "/root/repo/src/memside/edram_cache.cc" "src/CMakeFiles/dapsim_memside.dir/memside/edram_cache.cc.o" "gcc" "src/CMakeFiles/dapsim_memside.dir/memside/edram_cache.cc.o.d"
+  "/root/repo/src/memside/footprint_prefetcher.cc" "src/CMakeFiles/dapsim_memside.dir/memside/footprint_prefetcher.cc.o" "gcc" "src/CMakeFiles/dapsim_memside.dir/memside/footprint_prefetcher.cc.o.d"
+  "/root/repo/src/memside/ms_cache.cc" "src/CMakeFiles/dapsim_memside.dir/memside/ms_cache.cc.o" "gcc" "src/CMakeFiles/dapsim_memside.dir/memside/ms_cache.cc.o.d"
+  "/root/repo/src/memside/sectored_dram_cache.cc" "src/CMakeFiles/dapsim_memside.dir/memside/sectored_dram_cache.cc.o" "gcc" "src/CMakeFiles/dapsim_memside.dir/memside/sectored_dram_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_dap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

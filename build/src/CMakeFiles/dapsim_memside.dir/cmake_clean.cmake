@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_memside.dir/memside/alloy_cache.cc.o"
+  "CMakeFiles/dapsim_memside.dir/memside/alloy_cache.cc.o.d"
+  "CMakeFiles/dapsim_memside.dir/memside/edram_cache.cc.o"
+  "CMakeFiles/dapsim_memside.dir/memside/edram_cache.cc.o.d"
+  "CMakeFiles/dapsim_memside.dir/memside/footprint_prefetcher.cc.o"
+  "CMakeFiles/dapsim_memside.dir/memside/footprint_prefetcher.cc.o.d"
+  "CMakeFiles/dapsim_memside.dir/memside/ms_cache.cc.o"
+  "CMakeFiles/dapsim_memside.dir/memside/ms_cache.cc.o.d"
+  "CMakeFiles/dapsim_memside.dir/memside/sectored_dram_cache.cc.o"
+  "CMakeFiles/dapsim_memside.dir/memside/sectored_dram_cache.cc.o.d"
+  "libdapsim_memside.a"
+  "libdapsim_memside.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_memside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/batman.cc" "src/CMakeFiles/dapsim_policies.dir/policies/batman.cc.o" "gcc" "src/CMakeFiles/dapsim_policies.dir/policies/batman.cc.o.d"
+  "/root/repo/src/policies/bear.cc" "src/CMakeFiles/dapsim_policies.dir/policies/bear.cc.o" "gcc" "src/CMakeFiles/dapsim_policies.dir/policies/bear.cc.o.d"
+  "/root/repo/src/policies/sbd.cc" "src/CMakeFiles/dapsim_policies.dir/policies/sbd.cc.o" "gcc" "src/CMakeFiles/dapsim_policies.dir/policies/sbd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_dap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_policies.dir/policies/batman.cc.o"
+  "CMakeFiles/dapsim_policies.dir/policies/batman.cc.o.d"
+  "CMakeFiles/dapsim_policies.dir/policies/bear.cc.o"
+  "CMakeFiles/dapsim_policies.dir/policies/bear.cc.o.d"
+  "CMakeFiles/dapsim_policies.dir/policies/sbd.cc.o"
+  "CMakeFiles/dapsim_policies.dir/policies/sbd.cc.o.d"
+  "libdapsim_policies.a"
+  "libdapsim_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/l3_cache.cc" "src/CMakeFiles/dapsim_sim.dir/sim/l3_cache.cc.o" "gcc" "src/CMakeFiles/dapsim_sim.dir/sim/l3_cache.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/dapsim_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/dapsim_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "src/CMakeFiles/dapsim_sim.dir/sim/presets.cc.o" "gcc" "src/CMakeFiles/dapsim_sim.dir/sim/presets.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/dapsim_sim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/dapsim_sim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/dapsim_sim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/dapsim_sim.dir/sim/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_memside.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_dap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

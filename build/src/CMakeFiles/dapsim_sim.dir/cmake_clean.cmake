@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_sim.dir/sim/l3_cache.cc.o"
+  "CMakeFiles/dapsim_sim.dir/sim/l3_cache.cc.o.d"
+  "CMakeFiles/dapsim_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/dapsim_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/dapsim_sim.dir/sim/presets.cc.o"
+  "CMakeFiles/dapsim_sim.dir/sim/presets.cc.o.d"
+  "CMakeFiles/dapsim_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/dapsim_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/dapsim_sim.dir/sim/system.cc.o"
+  "CMakeFiles/dapsim_sim.dir/sim/system.cc.o.d"
+  "libdapsim_sim.a"
+  "libdapsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generators.cc" "src/CMakeFiles/dapsim_trace.dir/trace/generators.cc.o" "gcc" "src/CMakeFiles/dapsim_trace.dir/trace/generators.cc.o.d"
+  "/root/repo/src/trace/mixes.cc" "src/CMakeFiles/dapsim_trace.dir/trace/mixes.cc.o" "gcc" "src/CMakeFiles/dapsim_trace.dir/trace/mixes.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/dapsim_trace.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/dapsim_trace.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/dapsim_trace.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/dapsim_trace.dir/trace/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

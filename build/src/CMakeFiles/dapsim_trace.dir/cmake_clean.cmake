@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_trace.dir/trace/generators.cc.o"
+  "CMakeFiles/dapsim_trace.dir/trace/generators.cc.o.d"
+  "CMakeFiles/dapsim_trace.dir/trace/mixes.cc.o"
+  "CMakeFiles/dapsim_trace.dir/trace/mixes.cc.o.d"
+  "CMakeFiles/dapsim_trace.dir/trace/trace_file.cc.o"
+  "CMakeFiles/dapsim_trace.dir/trace/trace_file.cc.o.d"
+  "CMakeFiles/dapsim_trace.dir/trace/workloads.cc.o"
+  "CMakeFiles/dapsim_trace.dir/trace/workloads.cc.o.d"
+  "libdapsim_trace.a"
+  "libdapsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alloy_cache.cc" "tests/CMakeFiles/dapsim_tests.dir/test_alloy_cache.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_alloy_cache.cc.o.d"
+  "/root/repo/tests/test_assoc_cache.cc" "tests/CMakeFiles/dapsim_tests.dir/test_assoc_cache.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_assoc_cache.cc.o.d"
+  "/root/repo/tests/test_bandwidth_model.cc" "tests/CMakeFiles/dapsim_tests.dir/test_bandwidth_model.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_bandwidth_model.cc.o.d"
+  "/root/repo/tests/test_bloom.cc" "tests/CMakeFiles/dapsim_tests.dir/test_bloom.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_bloom.cc.o.d"
+  "/root/repo/tests/test_channel_behavior.cc" "tests/CMakeFiles/dapsim_tests.dir/test_channel_behavior.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_channel_behavior.cc.o.d"
+  "/root/repo/tests/test_cross_validation.cc" "tests/CMakeFiles/dapsim_tests.dir/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_cross_validation.cc.o.d"
+  "/root/repo/tests/test_dap_convergence.cc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_convergence.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_convergence.cc.o.d"
+  "/root/repo/tests/test_dap_policy.cc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_policy.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_policy.cc.o.d"
+  "/root/repo/tests/test_dap_solver.cc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_solver.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_dap_solver.cc.o.d"
+  "/root/repo/tests/test_dbc.cc" "tests/CMakeFiles/dapsim_tests.dir/test_dbc.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_dbc.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/dapsim_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_edram_cache.cc" "tests/CMakeFiles/dapsim_tests.dir/test_edram_cache.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_edram_cache.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/dapsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fixed_ratio.cc" "tests/CMakeFiles/dapsim_tests.dir/test_fixed_ratio.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_fixed_ratio.cc.o.d"
+  "/root/repo/tests/test_footprint.cc" "tests/CMakeFiles/dapsim_tests.dir/test_footprint.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_footprint.cc.o.d"
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/dapsim_tests.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_generators.cc.o.d"
+  "/root/repo/tests/test_l3.cc" "tests/CMakeFiles/dapsim_tests.dir/test_l3.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_l3.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/dapsim_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/dapsim_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/dapsim_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_presets.cc" "tests/CMakeFiles/dapsim_tests.dir/test_presets.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_presets.cc.o.d"
+  "/root/repo/tests/test_refresh.cc" "tests/CMakeFiles/dapsim_tests.dir/test_refresh.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_refresh.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/dapsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_rob_core.cc" "tests/CMakeFiles/dapsim_tests.dir/test_rob_core.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_rob_core.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/dapsim_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_sectored_cache.cc" "tests/CMakeFiles/dapsim_tests.dir/test_sectored_cache.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_sectored_cache.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/dapsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_dump.cc" "tests/CMakeFiles/dapsim_tests.dir/test_stats_dump.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_stats_dump.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/dapsim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tag_cache.cc" "tests/CMakeFiles/dapsim_tests.dir/test_tag_cache.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_tag_cache.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/dapsim_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/dapsim_tests.dir/test_trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dapsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_memside.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_dap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dapsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsim_cli.dir/dapsim_cli.cc.o"
+  "CMakeFiles/dapsim_cli.dir/dapsim_cli.cc.o.d"
+  "dapsim"
+  "dapsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

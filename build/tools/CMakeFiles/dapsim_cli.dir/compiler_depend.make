@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dapsim_cli.
+# This may be replaced when dependencies are built.
