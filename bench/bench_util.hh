@@ -13,23 +13,87 @@
 #ifndef DAPSIM_BENCH_BENCH_UTIL_HH
 #define DAPSIM_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
+#include "exp/sweep_runner.hh"
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 
 namespace dapsim::bench
 {
 
+/** Parse a strictly-positive decimal integer; 0 on any malformation. */
+inline std::uint64_t
+parsePositive(const char *s)
+{
+    if (!s || *s == '\0')
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        return 0;
+    return v;
+}
+
 /** Instructions per core for bench runs (reduced-scale methodology). */
 inline std::uint64_t
 benchInstructions()
 {
-    if (const char *env = std::getenv("DAPSIM_BENCH_INSTR"))
-        return std::strtoull(env, nullptr, 10);
-    return 120'000;
+    constexpr std::uint64_t kDefault = 120'000;
+    if (const char *env = std::getenv("DAPSIM_BENCH_INSTR")) {
+        const std::uint64_t v = parsePositive(env);
+        if (v == 0) {
+            warn("invalid DAPSIM_BENCH_INSTR '" + std::string(env) +
+                 "'; using default " + std::to_string(kDefault));
+            return kDefault;
+        }
+        return v;
+    }
+    return kDefault;
+}
+
+/**
+ * Worker threads for the bench's sweep: `--jobs N` on the command
+ * line, else the DAPSIM_BENCH_JOBS environment variable, else 1.
+ * Results are bit-identical for any value (see exp/sweep_runner.hh);
+ * only wall-clock time changes.
+ */
+inline std::size_t
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            const std::uint64_t v = parsePositive(argv[i + 1]);
+            if (v == 0)
+                fatal("--jobs expects a positive integer");
+            return v;
+        }
+    }
+    if (const char *env = std::getenv("DAPSIM_BENCH_JOBS")) {
+        const std::uint64_t v = parsePositive(env);
+        if (v == 0) {
+            warn("invalid DAPSIM_BENCH_JOBS '" + std::string(env) +
+                 "'; running serially");
+            return 1;
+        }
+        return v;
+    }
+    return 1;
+}
+
+/** Fetch an ok job result or die with the job's captured error. */
+inline const RunResult &
+require(const exp::JobResult &r)
+{
+    if (!r.ok)
+        fatal("job '" + r.label + "' failed: " + r.error);
+    return r.result;
 }
 
 /** Print a banner naming the experiment. */
@@ -49,6 +113,41 @@ runPolicy(SystemConfig cfg, PolicyKind policy, const Mix &mix,
 {
     cfg.policy = policy;
     return runMix(cfg, mix, instr, salt);
+}
+
+/** Queue runPolicy() as a sweep job; returns its submission index. */
+inline std::size_t
+queuePolicy(exp::SweepRunner &runner, const SystemConfig &cfg,
+            PolicyKind policy, const Mix &mix, std::uint64_t instr,
+            std::uint64_t salt = 0)
+{
+    exp::JobSpec spec;
+    spec.cfg = cfg;
+    spec.mix = mix;
+    spec.policy = policy;
+    spec.instr = instr;
+    spec.seedSalt = salt;
+    return runner.add(std::move(spec));
+}
+
+/** Queue an alone-IPC run (custom job; result.ipc = {alone_ipc}). */
+inline std::size_t
+queueAloneIpc(exp::SweepRunner &runner, const SystemConfig &cfg,
+              const WorkloadProfile &profile, std::uint64_t instr,
+              std::uint64_t salt = 0)
+{
+    exp::JobSpec spec;
+    spec.cfg = cfg;
+    spec.instr = instr;
+    spec.seedSalt = salt;
+    spec.label = profile.name + "/alone";
+    spec.custom = [cfg, profile, instr, salt] {
+        RunResult r;
+        r.mixName = profile.name;
+        r.ipc = {aloneIpc(cfg, profile, instr, salt)};
+        return r;
+    };
+    return runner.add(std::move(spec));
 }
 
 /** Throughput-normalized speedup (rate-mode weighted speedup). */

@@ -7,6 +7,9 @@
  * shape: the twelve bandwidth-sensitive snippets gain substantially;
  * the five insensitive ones barely move; sensitive workloads have the
  * higher average MPKI (20.4 vs 11.6 in the paper).
+ *
+ * The 34 simulations run through the SweepRunner; pass `--jobs N` to
+ * parallelize (rows are identical for any job count).
  */
 
 #include "bench_util.hh"
@@ -15,25 +18,33 @@ using namespace dapsim;
 using namespace dapsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 4",
            "Speedup from doubling MS$ bandwidth (102.4 -> 204.8 GB/s) "
            "+ L3 MPKI");
     const std::uint64_t instr = benchInstructions();
+    const std::size_t jobs = benchJobs(argc, argv);
 
     SystemConfig base = presets::sectoredSystem8();
     SystemConfig fast = base;
     fast.sectored.array = dapsim::presets::hbm_205();
 
-    std::vector<double> sens_mpki, insens_mpki;
-    SpeedupTable table("   speedup     L3MPKI");
+    exp::SweepRunner runner;
+    runner.setProgress(true);
     for (const auto &w : allWorkloads()) {
         const Mix mix = rateMix(w, 8);
-        const RunResult r1 =
-            runPolicy(base, PolicyKind::Baseline, mix, instr);
-        const RunResult r2 =
-            runPolicy(fast, PolicyKind::Baseline, mix, instr);
+        queuePolicy(runner, base, PolicyKind::Baseline, mix, instr);
+        queuePolicy(runner, fast, PolicyKind::Baseline, mix, instr);
+    }
+    const auto results = runner.run(jobs);
+
+    std::vector<double> sens_mpki, insens_mpki;
+    SpeedupTable table("   speedup     L3MPKI");
+    std::size_t cursor = 0;
+    for (const auto &w : allWorkloads()) {
+        const RunResult &r1 = require(results[cursor++]);
+        const RunResult &r2 = require(results[cursor++]);
         table.row(w.name + (w.bandwidthSensitive ? "" : " (i)"),
                   {speedup(r2, r1), r1.l3Mpki});
         (w.bandwidthSensitive ? sens_mpki : insens_mpki)

@@ -8,6 +8,11 @@
  * IPCs for the heterogeneous mixes). Paper shape: insensitive mixes
  * never lose (DAP seldom partitions for them); heterogeneous mixes
  * gain broadly; 13% overall geomean.
+ *
+ * All 105 simulations (17 alone runs + 44 mixes x 2 policies) go
+ * through the SweepRunner; pass `--jobs N` (or set DAPSIM_BENCH_JOBS)
+ * to run them on N threads. Rows are numerically identical for any
+ * job count.
  */
 
 #include <algorithm>
@@ -19,16 +24,32 @@ using namespace dapsim;
 using namespace dapsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 12", "DAP speedup over all 44 multi-programmed mixes");
     const std::uint64_t instr = benchInstructions();
+    const std::size_t jobs = benchJobs(argc, argv);
     const SystemConfig cfg = presets::sectoredSystem8();
 
+    exp::SweepRunner runner;
+    runner.setProgress(true);
+
     // Alone-run IPCs, shared across mixes (hetero weighted speedup).
+    const auto &workloads = allWorkloads();
+    for (const auto &w : workloads)
+        queueAloneIpc(runner, cfg, w, instr);
+
+    const std::vector<Mix> mixes = allMixes();
+    for (const auto &mix : mixes) {
+        queuePolicy(runner, cfg, PolicyKind::Baseline, mix, instr);
+        queuePolicy(runner, cfg, PolicyKind::Dap, mix, instr);
+    }
+
+    const auto results = runner.run(jobs);
+
     std::map<std::string, double> alone;
-    for (const auto &w : allWorkloads())
-        alone[w.name] = aloneIpc(cfg, w, instr);
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        alone[workloads[i].name] = require(results[i]).ipc[0];
 
     struct Entry
     {
@@ -38,10 +59,10 @@ main()
     std::map<Mix::Kind, std::vector<Entry>> byKind;
     std::vector<double> all;
 
-    for (const auto &mix : allMixes()) {
-        const RunResult rb =
-            runPolicy(cfg, PolicyKind::Baseline, mix, instr);
-        const RunResult rd = runPolicy(cfg, PolicyKind::Dap, mix, instr);
+    std::size_t cursor = workloads.size();
+    for (const auto &mix : mixes) {
+        const RunResult &rb = require(results[cursor++]);
+        const RunResult &rd = require(results[cursor++]);
         std::vector<double> alone_ipc;
         for (const auto &a : mix.apps)
             alone_ipc.push_back(alone[a.name]);
@@ -49,10 +70,7 @@ main()
                          rb.weightedSpeedup(alone_ipc);
         byKind[mix.kind].push_back({mix.name, s});
         all.push_back(s);
-        std::printf(".");
-        std::fflush(stdout);
     }
-    std::printf("\n\n");
 
     const std::map<Mix::Kind, const char *> kindName{
         {Mix::Kind::Sensitive, "bandwidth-sensitive (12)"},

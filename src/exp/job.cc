@@ -1,0 +1,117 @@
+#include "exp/job.hh"
+
+#include <exception>
+#include <stdexcept>
+
+#include "common/log.hh"
+
+namespace dapsim::exp
+{
+
+const char *
+policyKindName(PolicyKind policy)
+{
+    switch (policy) {
+      case PolicyKind::Baseline:
+        return "baseline";
+      case PolicyKind::Dap:
+        return "dap";
+      case PolicyKind::Sbd:
+        return "sbd";
+      case PolicyKind::SbdWt:
+        return "sbd-wt";
+      case PolicyKind::Batman:
+        return "batman";
+      case PolicyKind::Bear:
+        return "bear";
+    }
+    return "unknown";
+}
+
+const char *
+archName(MsArch arch)
+{
+    switch (arch) {
+      case MsArch::Sectored:
+        return "sectored";
+      case MsArch::Alloy:
+        return "alloy";
+      case MsArch::Edram:
+        return "edram";
+      case MsArch::None:
+        return "none";
+    }
+    return "unknown";
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    if (name == "baseline")
+        return PolicyKind::Baseline;
+    if (name == "dap")
+        return PolicyKind::Dap;
+    if (name == "sbd")
+        return PolicyKind::Sbd;
+    if (name == "sbd-wt")
+        return PolicyKind::SbdWt;
+    if (name == "batman")
+        return PolicyKind::Batman;
+    if (name == "bear")
+        return PolicyKind::Bear;
+    fatal("unknown policy: " + name);
+}
+
+std::string
+JobSpec::displayLabel() const
+{
+    if (!label.empty())
+        return label;
+    return mix.name + "/" + policyKindName(policy);
+}
+
+JobResult
+runJob(const JobSpec &spec, std::size_t index)
+{
+    JobResult out;
+    out.index = index;
+    out.label = spec.displayLabel();
+    out.archName = archName(spec.cfg.arch);
+    out.policyName = policyKindName(spec.policy);
+    out.mixName = spec.mix.name;
+    out.numCores = spec.cfg.numCores;
+    out.instr = spec.instr;
+    out.seedSalt = spec.seedSalt;
+    out.knobs = spec.knobs;
+
+    try {
+        if (spec.custom) {
+            out.result = spec.custom();
+        } else {
+            // Pre-validate what runMix() would fatal() on — fatal()
+            // exits the process, which would defeat the sweep's
+            // per-job failure isolation.
+            if (spec.mix.apps.size() != spec.cfg.numCores)
+                throw std::invalid_argument(
+                    "mix '" + spec.mix.name + "' is " +
+                    std::to_string(spec.mix.apps.size()) +
+                    "-wide but the system has " +
+                    std::to_string(spec.cfg.numCores) + " cores");
+            if (spec.instr == 0)
+                throw std::invalid_argument(
+                    "job has a zero instruction budget");
+            SystemConfig cfg = spec.cfg;
+            cfg.policy = spec.policy;
+            out.result = runMix(cfg, spec.mix, spec.instr,
+                                spec.seedSalt);
+        }
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+} // namespace dapsim::exp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Minimal JSON emission helper for result sinks.
+ *
+ * Writes one flat-ish JSON object at a time (nested objects/arrays are
+ * supported one level deep, which covers the sweep schema). No
+ * external dependencies; numbers are emitted with enough precision to
+ * round-trip doubles (%.17g).
+ */
+
+#ifndef DAPSIM_EXP_JSON_WRITER_HH
+#define DAPSIM_EXP_JSON_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dapsim::exp
+{
+
+/** Escape @p s for inclusion in a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Incremental writer for one JSON value tree. */
+class JsonWriter
+{
+  public:
+    const std::string &str() const { return buf_; }
+
+    JsonWriter &
+    beginObject()
+    {
+        sep();
+        buf_ += '{';
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        buf_ += '}';
+        first_ = false;
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        sep();
+        buf_ += '[';
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        buf_ += ']';
+        first_ = false;
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &k)
+    {
+        sep();
+        buf_ += '"';
+        buf_ += jsonEscape(k);
+        buf_ += "\":";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        sep();
+        buf_ += '"';
+        buf_ += jsonEscape(v);
+        buf_ += '"';
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        sep();
+        buf_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        sep();
+        buf_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint32_t v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        sep();
+        buf_ += v ? "true" : "false";
+        return *this;
+    }
+
+  private:
+    /** Insert a comma between successive values at the same level. */
+    void
+    sep()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false; // key already emitted its ':'
+            return;
+        }
+        if (!first_ && !buf_.empty())
+            buf_ += ',';
+        first_ = false;
+    }
+
+    std::string buf_;
+    bool first_ = true;
+    bool pendingValue_ = false;
+};
+
+} // namespace dapsim::exp
+
+#endif // DAPSIM_EXP_JSON_WRITER_HH

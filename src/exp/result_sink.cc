@@ -1,0 +1,108 @@
+#include "exp/result_sink.hh"
+
+#include "exp/json_writer.hh"
+
+namespace dapsim::exp
+{
+
+void
+ConsoleTableSink::begin(std::size_t total)
+{
+    std::fprintf(out_, "%-30s %-10s %-10s %10s %10s %8s\n",
+                 "job", "arch", "policy", "thruput", "ms_hit",
+                 "status");
+    std::fprintf(out_, "(%zu jobs)\n", total);
+}
+
+void
+ConsoleTableSink::consume(const JobResult &r)
+{
+    if (r.ok) {
+        std::fprintf(out_, "%-30s %-10s %-10s %10.3f %10.3f %8s\n",
+                     r.label.c_str(), r.archName.c_str(),
+                     r.policyName.c_str(), r.result.throughput(),
+                     r.result.msHitRatio, "ok");
+    } else {
+        ++failures_;
+        std::fprintf(out_, "%-30s %-10s %-10s %10s %10s %8s  %s\n",
+                     r.label.c_str(), r.archName.c_str(),
+                     r.policyName.c_str(), "-", "-", "FAILED",
+                     r.error.c_str());
+    }
+    std::fflush(out_);
+}
+
+void
+ConsoleTableSink::end()
+{
+    if (failures_)
+        std::fprintf(out_, "%zu job(s) failed\n", failures_);
+}
+
+std::string
+jobResultToJson(const JobResult &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("dapsim.sweep.v1");
+    w.key("job").value(static_cast<std::uint64_t>(r.index));
+    w.key("ok").value(r.ok);
+    w.key("label").value(r.label);
+    w.key("arch").value(r.archName);
+    w.key("policy").value(r.policyName);
+    w.key("workload").value(r.mixName);
+    w.key("cores").value(r.numCores);
+    w.key("instr").value(r.instr);
+    w.key("seed_salt").value(r.seedSalt);
+
+    w.key("knobs").beginObject();
+    for (const auto &[k, v] : r.knobs)
+        w.key(k).value(v);
+    w.endObject();
+
+    if (!r.ok) {
+        w.key("error").value(r.error);
+        w.endObject();
+        return w.str();
+    }
+
+    const RunResult &m = r.result;
+    w.key("metrics").beginObject();
+    w.key("throughput").value(m.throughput());
+    w.key("ipc").beginArray();
+    for (double ipc : m.ipc)
+        w.value(ipc);
+    w.endArray();
+    w.key("cycles").value(m.cycles);
+    w.key("ms_hit_ratio").value(m.msHitRatio);
+    w.key("ms_read_miss_ratio").value(m.msReadMissRatio);
+    w.key("mm_cas_fraction").value(m.mmCasFraction);
+    w.key("tag_cache_miss_ratio").value(m.tagCacheMissRatio);
+    w.key("avg_l3_read_miss_latency_ticks").value(m.avgL3ReadMissLatency);
+    w.key("l3_mpki").value(m.l3Mpki);
+    w.key("read_gbps").value(m.readGBps);
+    w.key("dap_decisions").beginObject();
+    w.key("fwb").value(m.fwb);
+    w.key("wb").value(m.wb);
+    w.key("ifrm").value(m.ifrm);
+    w.key("sfrm").value(m.sfrm);
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+void
+JsonLinesSink::consume(const JobResult &r)
+{
+    os_ << jobResultToJson(r) << '\n';
+}
+
+void
+JsonLinesSink::end()
+{
+    os_.flush();
+}
+
+} // namespace dapsim::exp

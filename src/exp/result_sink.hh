@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Result sinks: consumers of completed sweep jobs.
+ *
+ * The SweepRunner feeds JobResults to its sinks strictly in submission
+ * order (buffering out-of-order completions), so sink implementations
+ * never need their own ordering or locking.
+ */
+
+#ifndef DAPSIM_EXP_RESULT_SINK_HH
+#define DAPSIM_EXP_RESULT_SINK_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "exp/job.hh"
+
+namespace dapsim::exp
+{
+
+/** Consumer of sweep results, fed in submission order. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Called once before any result, with the total job count. */
+    virtual void begin(std::size_t total) { (void)total; }
+
+    /** Called once per job, in submission order. */
+    virtual void consume(const JobResult &r) = 0;
+
+    /** Called once after the last result. */
+    virtual void end() {}
+};
+
+/** Plain-text table on a FILE* (default stdout). */
+class ConsoleTableSink : public ResultSink
+{
+  public:
+    explicit ConsoleTableSink(std::FILE *out = stdout) : out_(out) {}
+
+    void begin(std::size_t total) override;
+    void consume(const JobResult &r) override;
+    void end() override;
+
+  private:
+    std::FILE *out_;
+    std::size_t failures_ = 0;
+};
+
+/**
+ * JSON-lines sink: one self-contained JSON object per job.
+ *
+ * Schema (schema id "dapsim.sweep.v1"):
+ *   {"schema":"dapsim.sweep.v1","job":N,"ok":true,
+ *    "arch":...,"policy":...,"workload":...,"cores":N,"instr":N,
+ *    "seed_salt":N,"knobs":{...},
+ *    "metrics":{"throughput":...,"ipc":[...],"cycles":N,
+ *               "ms_hit_ratio":...,"ms_read_miss_ratio":...,
+ *               "mm_cas_fraction":...,"tag_cache_miss_ratio":...,
+ *               "avg_l3_read_miss_latency_ticks":...,"l3_mpki":...,
+ *               "read_gbps":...,
+ *               "dap_decisions":{"fwb":N,"wb":N,"ifrm":N,"sfrm":N}}}
+ * Failed jobs instead carry "ok":false and an "error" string; they
+ * still include the identifying fields so a grid stays rectangular.
+ */
+class JsonLinesSink : public ResultSink
+{
+  public:
+    explicit JsonLinesSink(std::ostream &os) : os_(os) {}
+
+    void consume(const JobResult &r) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Serialize one JobResult as a single JSON-lines record (no '\n'). */
+std::string jobResultToJson(const JobResult &r);
+
+} // namespace dapsim::exp
+
+#endif // DAPSIM_EXP_RESULT_SINK_HH

@@ -1,0 +1,91 @@
+#include "exp/sweep_runner.hh"
+
+#include "exp/thread_pool.hh"
+
+namespace dapsim::exp
+{
+
+std::size_t
+SweepRunner::add(JobSpec spec)
+{
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+std::size_t
+SweepRunner::addGrid(const SystemConfig &cfg,
+                     const std::vector<Mix> &mixes,
+                     const std::vector<PolicyKind> &policies,
+                     std::uint64_t instr, std::uint64_t seed_salt)
+{
+    const std::size_t first = specs_.size();
+    for (const auto &mix : mixes) {
+        for (PolicyKind policy : policies) {
+            JobSpec spec;
+            spec.cfg = cfg;
+            spec.mix = mix;
+            spec.policy = policy;
+            spec.instr = instr;
+            spec.seedSalt = seed_salt;
+            add(std::move(spec));
+        }
+    }
+    return first;
+}
+
+void
+SweepRunner::drainReady()
+{
+    // Caller holds mutex_ (or is single-threaded in serial mode).
+    while (nextToDeliver_ < specs_.size() && done_[nextToDeliver_]) {
+        for (ResultSink *sink : sinks_)
+            sink->consume(results_[nextToDeliver_]);
+        ++nextToDeliver_;
+    }
+}
+
+std::vector<JobResult>
+SweepRunner::run(std::size_t threads)
+{
+    const std::size_t n = specs_.size();
+    results_.assign(n, JobResult{});
+    done_.assign(n, false);
+    nextToDeliver_ = 0;
+    completed_ = 0;
+
+    for (ResultSink *sink : sinks_)
+        sink->begin(n);
+
+    auto finish = [this, n](std::size_t i, JobResult r) {
+        std::lock_guard lock(mutex_);
+        ++completed_;
+        if (progress_) {
+            std::fprintf(stderr, "[%zu/%zu] %s %s\n", completed_, n,
+                         r.label.c_str(),
+                         r.ok ? "done" : ("FAILED: " + r.error).c_str());
+            std::fflush(stderr);
+        }
+        results_[i] = std::move(r);
+        done_[i] = true;
+        drainReady();
+    };
+
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            finish(i, runJob(specs_[i], i));
+    } else {
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([this, i, &finish] {
+                finish(i, runJob(specs_[i], i));
+            });
+        pool.wait();
+    }
+
+    for (ResultSink *sink : sinks_)
+        sink->end();
+
+    return std::move(results_);
+}
+
+} // namespace dapsim::exp

@@ -1,0 +1,69 @@
+#include "exp/thread_pool.hh"
+
+namespace dapsim::exp
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back(
+            [this](std::stop_token stop) { workerLoop(stop); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    // jthread joins on destruction; workers drain the queue first so
+    // every submitted task still runs.
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop(std::stop_token)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace dapsim::exp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-size worker pool for experiment orchestration.
+ *
+ * Deliberately minimal: a mutex/condvar-protected FIFO of closures
+ * drained by N std::jthread workers. No work stealing, no priorities,
+ * no external dependencies — simulation jobs are coarse (seconds
+ * each), so a single shared queue is never the bottleneck. Jobs must
+ * not touch shared mutable state; see sweep_runner.hh for the
+ * determinism contract.
+ */
+
+#ifndef DAPSIM_EXP_THREAD_POOL_HH
+#define DAPSIM_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dapsim::exp
+{
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker in FIFO dispatch order. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+  private:
+    void workerLoop(std::stop_token stop);
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::deque<Task> queue_;
+    std::size_t inFlight_ = 0; ///< queued + currently executing
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;
+};
+
+} // namespace dapsim::exp
+
+#endif // DAPSIM_EXP_THREAD_POOL_HH

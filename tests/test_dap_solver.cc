@@ -340,8 +340,9 @@ TEST_P(SolverProperties, SectoredInvariants)
             EXPECT_FALSE(t.active);
             EXPECT_EQ(t.nFwb + t.nWb + t.nIfrm, 0);
             // SFRM alone may still use spare memory bandwidth.
-            if (in.aMm >= in.bMmW)
+            if (in.aMm >= in.bMmW) {
                 EXPECT_EQ(t.nSfrm, 0);
+            }
         }
     }
 }
@@ -375,8 +376,9 @@ TEST_P(SolverProperties, EdramInvariants)
         EXPECT_LE(t.nFwb, std::min<std::int64_t>(in.readMisses, 63));
         EXPECT_LE(t.nWb, std::min<std::int64_t>(in.writes, 63));
         EXPECT_LE(t.nIfrm, std::min<std::int64_t>(in.cleanHits, 63));
-        if (in.aMsRead <= in.bMsReadW && in.aMsWrite <= in.bMsWriteW)
+        if (in.aMsRead <= in.bMsReadW && in.aMsWrite <= in.bMsWriteW) {
             EXPECT_FALSE(t.active);
+        }
     }
 }
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the sweep result sinks: JSON-lines schema round-trip,
+ * escaping, and error records. A minimal recursive-descent JSON
+ * parser validates that every emitted line is well-formed and
+ * extracts the keys the downstream tooling relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/json_writer.hh"
+#include "exp/result_sink.hh"
+#include "sim/presets.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+// ---- minimal JSON validator ------------------------------------
+// Parses one JSON value; on success returns the index one past its
+// end. Collects object keys (dot-joined paths) into @p keys.
+
+std::size_t parseValue(const std::string &s, std::size_t i,
+                       const std::string &path,
+                       std::map<std::string, std::string> &keys);
+
+std::size_t
+skipWs(const std::string &s, std::size_t i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+        ++i;
+    return i;
+}
+
+std::size_t
+parseString(const std::string &s, std::size_t i, std::string *out)
+{
+    EXPECT_LT(i, s.size());
+    EXPECT_EQ(s[i], '"');
+    ++i;
+    std::string v;
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\') {
+            ++i;
+            EXPECT_LT(i, s.size());
+        }
+        v += s[i++];
+    }
+    EXPECT_LT(i, s.size()) << "unterminated string";
+    if (out)
+        *out = v;
+    return i + 1;
+}
+
+std::size_t
+parseObject(const std::string &s, std::size_t i,
+            const std::string &path,
+            std::map<std::string, std::string> &keys)
+{
+    EXPECT_EQ(s[i], '{');
+    i = skipWs(s, i + 1);
+    if (i < s.size() && s[i] == '}')
+        return i + 1;
+    for (;;) {
+        std::string key;
+        i = parseString(s, skipWs(s, i), &key);
+        i = skipWs(s, i);
+        EXPECT_LT(i, s.size()) << "truncated object";
+        if (i >= s.size())
+            return i;
+        EXPECT_EQ(s[i], ':') << "missing ':' after key " << key;
+        const std::string kpath =
+            path.empty() ? key : path + "." + key;
+        const std::size_t vstart = skipWs(s, i + 1);
+        i = parseValue(s, vstart, kpath, keys);
+        keys[kpath] = s.substr(vstart, i - vstart);
+        i = skipWs(s, i);
+        EXPECT_LT(i, s.size()) << "truncated object";
+        if (i >= s.size() || s[i] == '}')
+            return i + 1;
+        EXPECT_EQ(s[i], ',') << "expected ',' in object";
+        i = skipWs(s, i + 1);
+    }
+}
+
+std::size_t
+parseValue(const std::string &s, std::size_t i,
+           const std::string &path,
+           std::map<std::string, std::string> &keys)
+{
+    i = skipWs(s, i);
+    EXPECT_LT(i, s.size());
+    const char c = s[i];
+    if (c == '{')
+        return parseObject(s, i, path, keys);
+    if (c == '[') {
+        i = skipWs(s, i + 1);
+        if (i < s.size() && s[i] == ']')
+            return i + 1;
+        for (;;) {
+            i = parseValue(s, i, path + "[]", keys);
+            i = skipWs(s, i);
+            EXPECT_LT(i, s.size());
+            if (s[i] == ']')
+                return i + 1;
+            EXPECT_EQ(s[i], ',');
+            i = skipWs(s, i + 1);
+        }
+    }
+    if (c == '"')
+        return parseString(s, i, nullptr);
+    if (s.compare(i, 4, "true") == 0)
+        return i + 4;
+    if (s.compare(i, 5, "false") == 0)
+        return i + 5;
+    if (s.compare(i, 4, "null") == 0)
+        return i + 4;
+    // number
+    std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E'))
+        ++i;
+    EXPECT_GT(i, start) << "expected a JSON value at index " << start;
+    return i;
+}
+
+/** Parse one JSON-lines record; returns its key->raw-text map. */
+std::map<std::string, std::string>
+parseRecord(const std::string &line)
+{
+    std::map<std::string, std::string> keys;
+    const std::size_t end = parseObject(line, 0, "", keys);
+    EXPECT_EQ(skipWs(line, end), line.size())
+        << "trailing garbage after JSON object";
+    return keys;
+}
+
+exp::JobResult
+runTinyJob(PolicyKind policy)
+{
+    exp::JobSpec spec;
+    spec.cfg = presets::sectoredSystem8();
+    spec.cfg.numCores = 4;
+    spec.cfg.sectored.capacityBytes = 2 * kMiB;
+    spec.cfg.warmupAccessesPerCore = 2'000;
+    WorkloadProfile w = workloadByName("bwaves");
+    w.params.footprintBytes = 256 * kKiB;
+    spec.mix = rateMix(w, 4);
+    spec.policy = policy;
+    spec.instr = 2'000;
+    spec.knobs["capacity_mb"] = "2";
+    return exp::runJob(spec, 0);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(exp::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(exp::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonLinesSink, RecordCarriesRequiredKeys)
+{
+    const exp::JobResult r = runTinyJob(PolicyKind::Dap);
+    ASSERT_TRUE(r.ok) << r.error;
+    const std::string line = exp::jobResultToJson(r);
+    const auto keys = parseRecord(line);
+
+    for (const char *k :
+         {"schema", "job", "ok", "arch", "policy", "workload",
+          "cores", "instr", "seed_salt", "metrics.throughput",
+          "metrics.ipc", "metrics.cycles", "metrics.ms_hit_ratio",
+          "metrics.mm_cas_fraction", "metrics.l3_mpki",
+          "metrics.read_gbps", "metrics.dap_decisions.fwb",
+          "knobs.capacity_mb"})
+        EXPECT_TRUE(keys.count(k)) << "missing key: " << k;
+
+    EXPECT_EQ(keys.at("schema"), "\"dapsim.sweep.v1\"");
+    EXPECT_EQ(keys.at("ok"), "true");
+    EXPECT_EQ(keys.at("arch"), "\"sectored\"");
+    EXPECT_EQ(keys.at("policy"), "\"dap\"");
+    EXPECT_EQ(keys.at("workload"), "\"bwaves-rate4\"");
+    EXPECT_EQ(keys.at("cores"), "4");
+    EXPECT_EQ(keys.at("knobs.capacity_mb"), "\"2\"");
+}
+
+TEST(JsonLinesSink, MetricsRoundTripThroughJson)
+{
+    const exp::JobResult r = runTinyJob(PolicyKind::Baseline);
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto keys = parseRecord(exp::jobResultToJson(r));
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(std::stod(keys.at("metrics.throughput")),
+              r.result.throughput());
+    EXPECT_EQ(std::stod(keys.at("metrics.ms_hit_ratio")),
+              r.result.msHitRatio);
+    EXPECT_EQ(std::stoull(keys.at("metrics.cycles")),
+              r.result.cycles);
+}
+
+TEST(JsonLinesSink, FailedJobBecomesErrorRecord)
+{
+    exp::JobSpec spec;
+    spec.label = "boom";
+    spec.custom = []() -> RunResult {
+        throw std::runtime_error("bad \"config\"");
+    };
+    const exp::JobResult r = exp::runJob(spec, 5);
+    EXPECT_FALSE(r.ok);
+    const auto keys = parseRecord(exp::jobResultToJson(r));
+    EXPECT_EQ(keys.at("ok"), "false");
+    EXPECT_EQ(keys.at("job"), "5");
+    EXPECT_EQ(keys.at("error"), "\"bad \\\"config\\\"\"");
+    EXPECT_FALSE(keys.count("metrics.throughput"));
+}
+
+TEST(JsonLinesSink, WritesOneLinePerJob)
+{
+    std::ostringstream os;
+    exp::JsonLinesSink sink(os);
+    const exp::JobResult r = runTinyJob(PolicyKind::Baseline);
+    sink.consume(r);
+    sink.consume(r);
+    sink.end();
+    const std::string out = os.str();
+    std::size_t lines = 0;
+    std::istringstream is(out);
+    for (std::string line; std::getline(is, line);) {
+        ++lines;
+        parseRecord(line);
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+} // namespace
+} // namespace dapsim

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the experiment orchestration subsystem: determinism of
+ * sweeps under concurrency, failure isolation, ordered delivery, and
+ * the thread pool itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "exp/sweep_runner.hh"
+#include "exp/thread_pool.hh"
+#include "sim/presets.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.numCores = 4;
+    cfg.sectored.capacityBytes = 2 * kMiB;
+    cfg.sectored.tagCache.entries = 128;
+    cfg.warmupAccessesPerCore = 2'000;
+    return cfg;
+}
+
+Mix
+tinyMix(const std::string &workload)
+{
+    WorkloadProfile w = workloadByName(workload);
+    w.params.footprintBytes = 256 * kKiB;
+    return rateMix(w, 4);
+}
+
+/** Queue the 2-policy x 3-workload grid used by the determinism tests. */
+void
+addTestGrid(exp::SweepRunner &runner)
+{
+    runner.addGrid(tinySystem(),
+                   {tinyMix("bwaves"), tinyMix("mcf"),
+                    tinyMix("omnetpp")},
+                   {PolicyKind::Baseline, PolicyKind::Dap}, 2'000);
+}
+
+/** Run the test grid on @p threads workers. */
+std::vector<exp::JobResult>
+runTestGrid(std::size_t threads)
+{
+    exp::SweepRunner runner;
+    addTestGrid(runner);
+    return runner.run(threads);
+}
+
+/** Every metric of @p a and @p b is bit-identical. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.mixName, b.mixName);
+    EXPECT_EQ(a.policyName, b.policyName);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.msHitRatio, b.msHitRatio);
+    EXPECT_EQ(a.msReadMissRatio, b.msReadMissRatio);
+    EXPECT_EQ(a.mmCasFraction, b.mmCasFraction);
+    EXPECT_EQ(a.tagCacheMissRatio, b.tagCacheMissRatio);
+    EXPECT_EQ(a.avgL3ReadMissLatency, b.avgL3ReadMissLatency);
+    EXPECT_EQ(a.l3Mpki, b.l3Mpki);
+    EXPECT_EQ(a.readGBps, b.readGBps);
+    EXPECT_EQ(a.fwb, b.fwb);
+    EXPECT_EQ(a.wb, b.wb);
+    EXPECT_EQ(a.ifrm, b.ifrm);
+    EXPECT_EQ(a.sfrm, b.sfrm);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    exp::ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    exp::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(SweepRunner, GridExpansionIsMixMajor)
+{
+    exp::SweepRunner runner;
+    addTestGrid(runner);
+    EXPECT_EQ(runner.jobCount(), 6u);
+}
+
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerial)
+{
+    const auto serial = runTestGrid(1);
+    const auto parallel = runTestGrid(4);
+    ASSERT_EQ(serial.size(), 6u);
+    ASSERT_EQ(parallel.size(), 6u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        expectIdentical(serial[i].result, parallel[i].result);
+    }
+}
+
+TEST(SweepRunner, RepeatedParallelRunsAgree)
+{
+    // Re-running the same grid in parallel twice must also agree
+    // (no dependence on thread scheduling at all).
+    const auto a = runTestGrid(4);
+    const auto b = runTestGrid(4);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i].result, b[i].result);
+}
+
+TEST(SweepRunner, ThrowingJobFailsAloneAndSweepCompletes)
+{
+    exp::SweepRunner runner;
+    runner.addGrid(tinySystem(), {tinyMix("bwaves")},
+                   {PolicyKind::Baseline}, 2'000);
+
+    exp::JobSpec bad;
+    bad.label = "deliberate-failure";
+    bad.custom = []() -> RunResult {
+        throw std::runtime_error("injected fault");
+    };
+    const std::size_t bad_index = runner.add(std::move(bad));
+
+    runner.addGrid(tinySystem(), {tinyMix("mcf")},
+                   {PolicyKind::Baseline}, 2'000);
+
+    const auto results = runner.run(4);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[bad_index].ok);
+    EXPECT_EQ(results[bad_index].error, "injected fault");
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_GT(results[2].result.throughput(), 0.0);
+}
+
+/** Sink recording delivery order and totals. */
+class RecordingSink : public exp::ResultSink
+{
+  public:
+    void begin(std::size_t total) override { total_ = total; }
+    void consume(const exp::JobResult &r) override
+    {
+        order_.push_back(r.index);
+    }
+    void end() override { ended_ = true; }
+
+    std::size_t total_ = 0;
+    std::vector<std::size_t> order_;
+    bool ended_ = false;
+};
+
+TEST(SweepRunner, SinksReceiveResultsInSubmissionOrder)
+{
+    exp::SweepRunner runner;
+    // Custom jobs with deliberately uneven durations so completion
+    // order scrambles under 4 threads.
+    for (int i = 0; i < 8; ++i) {
+        exp::JobSpec spec;
+        spec.label = "job" + std::to_string(i);
+        spec.custom = [i]() {
+            RunResult r;
+            // Busy work inversely proportional to index: later jobs
+            // finish first.
+            volatile double x = 0;
+            for (int k = 0; k < (8 - i) * 100'000; ++k)
+                x = x + k;
+            r.ipc = {static_cast<double>(i)};
+            return r;
+        };
+        runner.add(std::move(spec));
+    }
+    RecordingSink sink;
+    runner.addSink(&sink);
+    const auto results = runner.run(4);
+
+    EXPECT_EQ(sink.total_, 8u);
+    EXPECT_TRUE(sink.ended_);
+    ASSERT_EQ(sink.order_.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(sink.order_[i], i);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(results[i].result.ipc[0], static_cast<double>(i));
+}
+
+TEST(Job, EchoesSpecIdentityFields)
+{
+    exp::JobSpec spec;
+    spec.cfg = tinySystem();
+    spec.mix = tinyMix("bwaves");
+    spec.policy = PolicyKind::Dap;
+    spec.instr = 1'000;
+    spec.seedSalt = 7;
+    spec.knobs["capacity_mb"] = "2";
+    const exp::JobResult r = exp::runJob(spec, 3);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.index, 3u);
+    EXPECT_EQ(r.archName, "sectored");
+    EXPECT_EQ(r.policyName, "dap");
+    EXPECT_EQ(r.mixName, "bwaves-rate4");
+    EXPECT_EQ(r.numCores, 4u);
+    EXPECT_EQ(r.instr, 1'000u);
+    EXPECT_EQ(r.seedSalt, 7u);
+    EXPECT_EQ(r.knobs.at("capacity_mb"), "2");
+    EXPECT_EQ(r.result.policyName, "dap");
+}
+
+TEST(Job, InvalidSpecBecomesFailedJobNotProcessExit)
+{
+    // runMix() would fatal() (process exit) on these; the job layer
+    // must convert them to reported failures instead.
+    exp::JobSpec narrow;
+    narrow.cfg = tinySystem(); // 4 cores
+    narrow.mix = rateMix(workloadByName("bwaves"), 8);
+    narrow.instr = 1'000;
+    const exp::JobResult r1 = exp::runJob(narrow, 0);
+    EXPECT_FALSE(r1.ok);
+    EXPECT_NE(r1.error.find("8-wide"), std::string::npos) << r1.error;
+
+    exp::JobSpec zero;
+    zero.cfg = tinySystem();
+    zero.mix = tinyMix("bwaves");
+    zero.instr = 0;
+    const exp::JobResult r2 = exp::runJob(zero, 1);
+    EXPECT_FALSE(r2.ok);
+    EXPECT_NE(r2.error.find("zero instruction"), std::string::npos)
+        << r2.error;
+}
+
+TEST(Job, PolicyNamesRoundTrip)
+{
+    for (PolicyKind p :
+         {PolicyKind::Baseline, PolicyKind::Dap, PolicyKind::Sbd,
+          PolicyKind::SbdWt, PolicyKind::Batman, PolicyKind::Bear})
+        EXPECT_EQ(exp::policyKindFromName(exp::policyKindName(p)), p);
+}
+
+} // namespace
+} // namespace dapsim

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * dapsim_sweep — parallel grid-sweep driver.
+ *
+ * Expands an arch x capacity x policy x workload grid into jobs, runs
+ * them on a thread pool, and writes results as a console table and/or
+ * a JSON-lines artifact. Results are emitted in grid order no matter
+ * how jobs interleave, and the metrics are bit-identical for any
+ * --jobs value (each job owns its whole simulation state).
+ *
+ * Examples:
+ *   dapsim_sweep --policy baseline,dap --workload sensitive --jobs 4
+ *   dapsim_sweep --arch sectored,alloy --workload mcf,lbm \
+ *                --jobs 8 --json bench/out/sweep.jsonl
+ *   dapsim_sweep --capacity-mb 32,64,128 --policy dap --workload all
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/result_sink.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/presets.hh"
+
+using namespace dapsim;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> archs{"sectored"};
+    std::vector<std::string> policies{"baseline", "dap"};
+    std::vector<std::string> workloads{"sensitive"};
+    std::vector<std::uint64_t> capacitiesMb{0}; // 0 = preset default
+    std::uint32_t cores = 8;
+    std::uint64_t instr = 120'000;
+    std::uint64_t seed = 0;
+    std::size_t jobs = 1;
+    std::string jsonPath;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dapsim_sweep [options]\n"
+        "  --arch LIST          sectored|alloy|edram (comma-separated,"
+        " default sectored)\n"
+        "  --policy LIST        baseline|dap|sbd|sbd-wt|batman|bear\n"
+        "                       (default baseline,dap)\n"
+        "  --workload LIST      profile names, or all|sensitive|"
+        "insensitive\n"
+        "                       (default sensitive)\n"
+        "  --capacity-mb LIST   MS$ capacities to sweep (default: "
+        "preset)\n"
+        "  --cores N            cores per system (default 8)\n"
+        "  --instr N            instructions per core (default "
+        "120000)\n"
+        "  --seed N             workload seed salt (default 0)\n"
+        "  --jobs N             worker threads (default 1)\n"
+        "  --json FILE          also write JSON-lines results to "
+        "FILE\n"
+        "  --quiet              suppress the console table\n"
+        "  --list               list workload profiles\n");
+    std::exit(1);
+}
+
+/** Parse a non-negative decimal integer; fatal() on malformation. */
+std::uint64_t
+parseNumber(const std::string &flag, const std::string &s)
+{
+    if (s.empty())
+        fatal(flag + " expects a number");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end == s.c_str() || *end != '\0')
+        fatal(flag + " expects a number, got '" + s + "'");
+    return v;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > pos)
+            out.push_back(s.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    if (out.empty())
+        fatal("empty list argument");
+    return out;
+}
+
+/** A grid workload: a resolved profile, or an unknown name kept so
+ *  its grid points surface as error records instead of killing the
+ *  whole sweep. */
+struct GridWorkload
+{
+    WorkloadProfile profile;
+    bool known = true;
+};
+
+std::vector<GridWorkload>
+resolveWorkloads(const std::vector<std::string> &names)
+{
+    std::vector<GridWorkload> out;
+    auto push = [&out](const WorkloadProfile &w) {
+        out.push_back({w, true});
+    };
+    for (const auto &name : names) {
+        if (name == "all") {
+            for (const auto &w : allWorkloads())
+                push(w);
+        } else if (name == "sensitive") {
+            for (const auto &w : bandwidthSensitiveWorkloads())
+                push(w);
+        } else if (name == "insensitive") {
+            for (const auto &w : bandwidthInsensitiveWorkloads())
+                push(w);
+        } else {
+            bool found = false;
+            for (const auto &w : allWorkloads()) {
+                if (w.name == name) {
+                    push(w);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                WorkloadProfile unknown;
+                unknown.name = name;
+                out.push_back({unknown, false});
+            }
+        }
+    }
+    return out;
+}
+
+SystemConfig
+archConfig(const std::string &arch, std::uint64_t capacity_mb)
+{
+    SystemConfig cfg;
+    if (arch == "sectored") {
+        cfg = presets::sectoredSystem8();
+        if (capacity_mb)
+            cfg.sectored.capacityBytes = capacity_mb * kMiB;
+    } else if (arch == "alloy") {
+        cfg = presets::alloySystem8();
+        if (capacity_mb)
+            cfg.alloy.capacityBytes = capacity_mb * kMiB;
+    } else if (arch == "edram") {
+        cfg = presets::edramSystem8(capacity_mb ? capacity_mb : 4);
+    } else {
+        fatal("unknown arch: " + arch);
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (a == "--arch")
+            opt.archs = splitList(value());
+        else if (a == "--policy")
+            opt.policies = splitList(value());
+        else if (a == "--workload")
+            opt.workloads = splitList(value());
+        else if (a == "--capacity-mb") {
+            opt.capacitiesMb.clear();
+            for (const auto &c : splitList(value()))
+                opt.capacitiesMb.push_back(parseNumber(a, c));
+        } else if (a == "--cores")
+            opt.cores = static_cast<std::uint32_t>(
+                parseNumber(a, value()));
+        else if (a == "--instr")
+            opt.instr = parseNumber(a, value());
+        else if (a == "--seed")
+            opt.seed = parseNumber(a, value());
+        else if (a == "--jobs")
+            opt.jobs = parseNumber(a, value());
+        else if (a == "--json")
+            opt.jsonPath = value();
+        else if (a == "--quiet")
+            opt.quiet = true;
+        else if (a == "--list") {
+            for (const auto &w : allWorkloads())
+                std::printf("%-18s %s\n", w.name.c_str(),
+                            w.bandwidthSensitive
+                                ? "bandwidth-sensitive"
+                                : "bandwidth-insensitive");
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    if (opt.jobs == 0)
+        opt.jobs = 1;
+
+    const std::vector<GridWorkload> workloads =
+        resolveWorkloads(opt.workloads);
+
+    exp::SweepRunner runner;
+    for (const auto &arch : opt.archs) {
+        for (std::uint64_t cap : opt.capacitiesMb) {
+            SystemConfig cfg = archConfig(arch, cap);
+            cfg.numCores = opt.cores;
+            for (const auto &gw : workloads) {
+                for (const auto &policy : opt.policies) {
+                    exp::JobSpec spec;
+                    spec.cfg = cfg;
+                    spec.policy = exp::policyKindFromName(policy);
+                    spec.instr = opt.instr;
+                    spec.seedSalt = opt.seed;
+                    spec.knobs["arch"] = arch;
+                    if (cap)
+                        spec.knobs["capacity_mb"] =
+                            std::to_string(cap);
+                    if (gw.known) {
+                        spec.mix = rateMix(gw.profile, opt.cores);
+                    } else {
+                        spec.mix.name = gw.profile.name;
+                        spec.label = gw.profile.name + "/" + policy;
+                        const std::string name = gw.profile.name;
+                        spec.custom = [name]() -> RunResult {
+                            throw std::invalid_argument(
+                                "unknown workload: " + name);
+                        };
+                    }
+                    runner.add(std::move(spec));
+                }
+            }
+        }
+    }
+    if (runner.jobCount() == 0)
+        fatal("empty sweep grid");
+
+    exp::ConsoleTableSink console;
+    if (!opt.quiet)
+        runner.addSink(&console);
+
+    std::ofstream json_file;
+    exp::JsonLinesSink json_sink(json_file);
+    if (!opt.jsonPath.empty()) {
+        json_file.open(opt.jsonPath);
+        if (!json_file)
+            fatal("cannot open " + opt.jsonPath + " for writing");
+        runner.addSink(&json_sink);
+    }
+
+    runner.setProgress(true);
+    const auto results = runner.run(opt.jobs);
+
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        failed += r.ok ? 0 : 1;
+    std::fprintf(stderr, "sweep complete: %zu jobs, %zu failed\n",
+                 results.size(), failed);
+    return failed == results.size() ? 1 : 0;
+}
