@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -176,6 +177,48 @@ class AssocCache
             if (at(set, w).valid)
                 ++n;
         return n;
+    }
+
+    /**
+     * Checkpoint the directory. @p save_value serializes one Value
+     * (`void(ckpt::Serializer&, const Value&)`); restore() reads the
+     * state back into an identically shaped cache via @p restore_value
+     * (`void(ckpt::Deserializer&, Value&)`) and throws CkptError on a
+     * geometry mismatch.
+     */
+    template <typename SaveValue>
+    void
+    save(ckpt::Serializer &s, SaveValue &&save_value) const
+    {
+        s.u64(sets_);
+        s.u32(ways_);
+        s.u32(static_cast<std::uint32_t>(policy_));
+        s.u64(useClock_);
+        for (const Line &l : lines_) {
+            s.u64(l.tag);
+            s.boolean(l.valid);
+            s.boolean(l.nruRef);
+            s.u64(l.lastUse);
+            save_value(s, l.value);
+        }
+    }
+
+    template <typename RestoreValue>
+    void
+    restore(ckpt::Deserializer &d, RestoreValue &&restore_value)
+    {
+        if (d.u64() != sets_ || d.u32() != ways_ ||
+            d.u32() != static_cast<std::uint32_t>(policy_))
+            throw ckpt::CkptError(
+                "ckpt: cache directory geometry mismatch");
+        useClock_ = d.u64();
+        for (Line &l : lines_) {
+            l.tag = d.u64();
+            l.valid = d.boolean();
+            l.nruRef = d.boolean();
+            l.lastUse = d.u64();
+            restore_value(d, l.value);
+        }
     }
 
   private:

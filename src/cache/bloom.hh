@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -76,6 +77,26 @@ class CountingBloom
     clear()
     {
         std::fill(counts_.begin(), counts_.end(), 0);
+    }
+
+    /** Checkpoint the counter array (see src/ckpt/). */
+    void
+    save(ckpt::Serializer &s) const
+    {
+        s.u32(hashes_);
+        s.u8(max_);
+        s.bytes(counts_.data(), counts_.size());
+    }
+
+    void
+    restore(ckpt::Deserializer &d)
+    {
+        if (d.u32() != hashes_ || d.u8() != max_)
+            throw ckpt::CkptError("ckpt: Bloom filter shape mismatch");
+        const auto counts = d.bytes();
+        if (counts.size() != counts_.size())
+            throw ckpt::CkptError("ckpt: Bloom filter size mismatch");
+        counts_ = counts;
     }
 
   private:

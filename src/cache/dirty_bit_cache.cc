@@ -66,4 +66,26 @@ DirtyBitCache::update(std::uint64_t alloy_set, bool dirty)
         e->dirtyBits &= ~bit;
 }
 
+void
+DirtyBitCache::save(ckpt::Serializer &s) const
+{
+    dir_.save(s, [](ckpt::Serializer &out, const Entry &e) {
+        out.u64(e.dirtyBits);
+        out.u64(e.knownBits);
+    });
+    s.u64(hits.value());
+    s.u64(misses.value());
+}
+
+void
+DirtyBitCache::restore(ckpt::Deserializer &d)
+{
+    dir_.restore(d, [](ckpt::Deserializer &in, Entry &e) {
+        e.dirtyBits = in.u64();
+        e.knownBits = in.u64();
+    });
+    hits.set(d.u64());
+    misses.set(d.u64());
+}
+
 } // namespace dapsim

@@ -49,6 +49,10 @@ class DirtyBitCache
     /** Record the known dirty state of @p alloy_set. */
     void update(std::uint64_t alloy_set, bool dirty);
 
+    /** Checkpoint directory + statistics (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
+
     const DirtyBitCacheConfig &config() const { return cfg_; }
 
     Counter hits;

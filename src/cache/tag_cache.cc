@@ -66,4 +66,26 @@ TagCache::contains(std::uint64_t ms_set) const
     return dir_.find(setIndex(ms_set), tagOf(ms_set)) != nullptr;
 }
 
+void
+TagCache::save(ckpt::Serializer &s) const
+{
+    dir_.save(s, [](ckpt::Serializer &out, const Entry &e) {
+        out.boolean(e.dirty);
+    });
+    s.u64(hits.value());
+    s.u64(misses.value());
+    s.u64(writebacks.value());
+}
+
+void
+TagCache::restore(ckpt::Deserializer &d)
+{
+    dir_.restore(d, [](ckpt::Deserializer &in, Entry &e) {
+        e.dirty = in.boolean();
+    });
+    hits.set(d.u64());
+    misses.set(d.u64());
+    writebacks.set(d.u64());
+}
+
 } // namespace dapsim

@@ -61,6 +61,10 @@ class TagCache
     /** Probe without allocating or touching recency. */
     bool contains(std::uint64_t ms_set) const;
 
+    /** Checkpoint directory + statistics (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
+
     const TagCacheConfig &config() const { return cfg_; }
 
     double

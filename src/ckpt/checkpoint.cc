@@ -1,0 +1,426 @@
+#include "ckpt/checkpoint.hh"
+
+#include <fstream>
+#include <iterator>
+
+namespace dapsim::ckpt
+{
+
+namespace
+{
+
+/** FNV-1a over a byte span. */
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n,
+      std::uint64_t h = 1469598103934665603ULL)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &v,
+      std::uint64_t h = 1469598103934665603ULL)
+{
+    return fnv1a(v.data(), v.size(), h);
+}
+
+/** Canonicalize a DramConfig's timing/geometry (name excluded). */
+void
+putDram(Serializer &s, const DramConfig &c)
+{
+    s.u32(c.channels);
+    s.u32(c.ranksPerChannel);
+    s.u32(c.banksPerRank);
+    s.u64(c.rowBufferBytes);
+    s.u64(c.freqMHz);
+    s.boolean(c.ddr);
+    s.u32(c.channelWidthBits);
+    s.u32(c.burstLength);
+    s.u32(c.tCAS);
+    s.u32(c.tRCD);
+    s.u32(c.tRP);
+    s.u32(c.tRAS);
+    s.u32(c.ioDelayCycles);
+    s.u32(c.tREFI);
+    s.u32(c.tRFC);
+    s.u32(c.turnaroundCycles);
+    s.u32(c.writeQueueHigh);
+    s.u32(c.writeQueueLow);
+    s.u32(c.schedulerScanDepth);
+}
+
+void
+putFootprint(Serializer &s, const FootprintConfig &c)
+{
+    s.u64(c.tableEntries);
+    s.u32(c.coldRunLength);
+    s.boolean(c.enabled);
+}
+
+std::uint32_t
+policyId(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline:
+        return 0;
+      case PolicyKind::Dap:
+        return 1;
+      case PolicyKind::Sbd:
+        return 2;
+      case PolicyKind::SbdWt:
+        return 3;
+      case PolicyKind::Batman:
+        return 4;
+      case PolicyKind::Bear:
+        return 5;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint32_t
+archIdOf(MsArch arch)
+{
+    switch (arch) {
+      case MsArch::Sectored:
+        return 0;
+      case MsArch::Alloy:
+        return 1;
+      case MsArch::Edram:
+        return 2;
+      case MsArch::None:
+        return 3;
+    }
+    return 3;
+}
+
+std::string
+describeMix(const Mix &mix)
+{
+    // Canonical binary description of the per-core streams: the
+    // parameters makeGenerator consumes, doubles as bit patterns so
+    // formatting cannot lose precision.
+    Serializer s;
+    s.str(mix.name);
+    s.u64(mix.apps.size());
+    for (const WorkloadProfile &w : mix.apps) {
+        s.str(w.name);
+        const SyntheticParams &p = w.params;
+        s.u64(p.footprintBytes);
+        s.f64(p.hotFraction);
+        s.f64(p.hotProbability);
+        s.f64(p.streamFraction);
+        s.f64(p.runLength);
+        s.f64(p.writeFraction);
+        s.f64(p.mpki);
+        s.u64(p.base);
+        s.u64(p.seed);
+    }
+    const auto &b = s.buffer();
+    return std::string(reinterpret_cast<const char *>(b.data()),
+                       b.size());
+}
+
+std::uint64_t
+resolveWarmCount(const SystemConfig &cfg)
+{
+    std::uint64_t warm = cfg.warmupAccessesPerCore;
+    if (warm == 0)
+        warm = 2 * (cfg.msCapacityBytes() / kBlockBytes) / cfg.numCores;
+    return warm;
+}
+
+std::uint64_t
+stateHash(const SystemConfig &cfg, const std::string &stream_desc,
+          std::uint64_t seed_salt, std::uint64_t warm_per_core)
+{
+    Serializer s;
+    s.str("dapsim.ckpt.state.v1");
+    s.u32(cfg.numCores);
+    s.u64(cfg.windowCycles);
+    s.u64(warm_per_core);
+    s.u64(seed_salt);
+    s.u32(archIdOf(cfg.arch));
+
+    // Core (instruction target excluded: it is a run parameter, not
+    // part of the warm state).
+    s.u32(cfg.core.retireWidth);
+    s.u32(cfg.core.robEntries);
+    s.u32(cfg.core.maxOutstanding);
+
+    s.u64(cfg.l3.capacityBytes);
+    s.u32(cfg.l3.ways);
+    s.u64(cfg.l3.latencyCycles);
+
+    // Active architecture only: the inactive configs influence nothing.
+    switch (cfg.arch) {
+      case MsArch::Sectored:
+        s.u64(cfg.sectored.capacityBytes);
+        s.u32(cfg.sectored.ways);
+        s.u64(cfg.sectored.sectorBytes);
+        putDram(s, cfg.sectored.array);
+        s.u64(cfg.sectored.tagCache.entries);
+        s.u32(cfg.sectored.tagCache.ways);
+        s.u32(cfg.sectored.tagCache.lookupCycles);
+        s.boolean(cfg.sectored.tagCache.enabled);
+        putFootprint(s, cfg.sectored.footprint);
+        break;
+      case MsArch::Alloy:
+        s.u64(cfg.alloy.capacityBytes);
+        putDram(s, cfg.alloy.array);
+        s.u64(cfg.alloy.dbc.entries);
+        s.u32(cfg.alloy.dbc.ways);
+        s.u32(cfg.alloy.dbc.setsPerEntry);
+        s.u32(cfg.alloy.dbc.lookupCycles);
+        s.u32(cfg.alloy.tadExtraClocks);
+        s.boolean(cfg.alloy.presenceBit);
+        s.u64(cfg.alloy.predictorEntries);
+        break;
+      case MsArch::Edram:
+        s.u64(cfg.edram.capacityBytes);
+        s.u32(cfg.edram.ways);
+        s.u64(cfg.edram.sectorBytes);
+        putDram(s, cfg.edram.readChannels);
+        putDram(s, cfg.edram.writeChannels);
+        s.u64(cfg.edram.tagLookupCycles);
+        putFootprint(s, cfg.edram.footprint);
+        break;
+      case MsArch::None:
+        break;
+    }
+
+    putDram(s, cfg.mainMemory);
+
+    s.boolean(cfg.prefetch.enabled);
+    s.u32(cfg.prefetch.streams);
+    s.u32(cfg.prefetch.degree);
+    s.u32(cfg.prefetch.distance);
+    s.u32(cfg.prefetch.minConfidence);
+
+    s.str(stream_desc);
+    return fnv1a(s.buffer());
+}
+
+std::uint64_t
+fullHash(std::uint64_t state_hash, const SystemConfig &cfg)
+{
+    Serializer s;
+    s.str("dapsim.ckpt.full.v1");
+    s.u64(state_hash);
+    s.u32(policyId(cfg.policy));
+
+    s.boolean(cfg.dapExplicit);
+    s.u32(archIdOf(cfg.arch));
+    s.u64(cfg.dap.windowCycles);
+    s.f64(cfg.dap.efficiency);
+    s.f64(cfg.dap.msPeakAccPerCycle);
+    s.f64(cfg.dap.msWritePeakAccPerCycle);
+    s.f64(cfg.dap.mmPeakAccPerCycle);
+    s.f64(cfg.dap.sfrmFactor);
+    s.u32(cfg.dap.kShift);
+    s.i64(cfg.dap.creditMax);
+    s.i64(cfg.dap.targetCap);
+    s.boolean(cfg.dap.enableFwb);
+    s.boolean(cfg.dap.enableWb);
+    s.boolean(cfg.dap.enableIfrm);
+    s.boolean(cfg.dap.enableSfrm);
+    s.u64(cfg.dap.ifrmCoreMask);
+
+    s.u64(cfg.sbd.pageBytes);
+    s.u64(cfg.sbd.dirtyListCapacity);
+    s.u64(cfg.sbd.bloomBuckets);
+    s.u32(cfg.sbd.bloomHashes);
+    s.u8(cfg.sbd.writeThreshold);
+    s.u64(cfg.sbd.decayWindows);
+    s.boolean(cfg.sbd.writeThroughOnly);
+
+    s.boolean(cfg.batmanExplicit);
+    s.u64(cfg.batman.numSets);
+    s.f64(cfg.batman.targetHitRate);
+    s.f64(cfg.batman.hysteresis);
+    s.u64(cfg.batman.epochWindows);
+    s.f64(cfg.batman.stepFraction);
+    s.f64(cfg.batman.maxDisabledFraction);
+
+    s.u64(cfg.bear.reuseTableEntries);
+    s.u32(cfg.bear.regionShift);
+    s.f64(cfg.bear.bypassProbability);
+    s.u64(cfg.bear.rngSeed);
+
+    return fnv1a(s.buffer());
+}
+
+Checkpoint
+capture(System &sys, CheckpointHeader header)
+{
+    Serializer s;
+    sys.save(s);
+    header.version = kVersion;
+    header.tick = sys.eventQueue().now();
+    header.pendingEvents = sys.eventQueue().pending();
+    Checkpoint ckpt;
+    ckpt.header = header;
+    ckpt.payload = s.buffer();
+    return ckpt;
+}
+
+std::vector<std::uint8_t>
+encode(const Checkpoint &ckpt)
+{
+    Serializer s;
+    for (char c : kMagic)
+        s.u8(static_cast<std::uint8_t>(c));
+    s.u32(ckpt.header.version);
+    s.u64(ckpt.header.stateHash);
+    s.u64(ckpt.header.fullHash);
+    s.u64(ckpt.header.tick);
+    s.u64(ckpt.header.seedSalt);
+    s.u64(ckpt.header.warmupPerCore);
+    s.u64(ckpt.header.instr);
+    s.u32(ckpt.header.numCores);
+    s.u32(ckpt.header.archId);
+    s.u64(ckpt.header.pendingEvents);
+    s.u64(ckpt.payload.size());
+    s.u32(crc32(ckpt.payload.data(), ckpt.payload.size()));
+    std::vector<std::uint8_t> out = s.buffer();
+    out.insert(out.end(), ckpt.payload.begin(), ckpt.payload.end());
+    return out;
+}
+
+Checkpoint
+decode(const std::uint8_t *data, std::size_t size)
+{
+    Deserializer d(data, size);
+    for (char c : kMagic)
+        if (d.u8() != static_cast<std::uint8_t>(c))
+            throw CkptError("ckpt: not a dapsim checkpoint (bad magic)");
+    Checkpoint ckpt;
+    ckpt.header.version = d.u32();
+    if (ckpt.header.version != kVersion)
+        throw CkptError("ckpt: unsupported checkpoint version " +
+                        std::to_string(ckpt.header.version));
+    ckpt.header.stateHash = d.u64();
+    ckpt.header.fullHash = d.u64();
+    ckpt.header.tick = d.u64();
+    if (ckpt.header.tick != 0)
+        throw CkptError("ckpt: v1 checkpoints must be at tick 0");
+    ckpt.header.seedSalt = d.u64();
+    ckpt.header.warmupPerCore = d.u64();
+    ckpt.header.instr = d.u64();
+    ckpt.header.numCores = d.u32();
+    ckpt.header.archId = d.u32();
+    ckpt.header.pendingEvents = d.u64();
+    const std::uint64_t len = d.u64();
+    const std::uint32_t crc = d.u32();
+    if (len != d.remaining())
+        throw CkptError("ckpt: truncated checkpoint payload");
+    ckpt.payload.assign(data + (size - len), data + size);
+    if (crc32(ckpt.payload.data(), ckpt.payload.size()) != crc)
+        throw CkptError("ckpt: payload CRC mismatch (corrupt file)");
+    return ckpt;
+}
+
+Checkpoint
+decode(const std::vector<std::uint8_t> &bytes)
+{
+    return decode(bytes.data(), bytes.size());
+}
+
+void
+writeFile(const std::string &path, const Checkpoint &ckpt)
+{
+    const std::vector<std::uint8_t> bytes = encode(ckpt);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw CkptError("ckpt: cannot write " + path);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        throw CkptError("ckpt: write failed: " + path);
+}
+
+Checkpoint
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CkptError("ckpt: cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return decode(bytes);
+}
+
+Checkpoint
+makeWarmupCheckpoint(SystemConfig cfg, const Mix &mix,
+                     std::uint64_t instr, std::uint64_t seed_salt)
+{
+    if (mix.apps.size() != cfg.numCores)
+        throw CkptError("ckpt: mix width != core count");
+
+    CheckpointHeader header;
+    header.seedSalt = seed_salt;
+    header.warmupPerCore = resolveWarmCount(cfg);
+    header.instr = instr;
+    header.numCores = cfg.numCores;
+    header.archId = archIdOf(cfg.arch);
+    header.stateHash = stateHash(cfg, describeMix(mix), seed_salt,
+                                 header.warmupPerCore);
+    header.fullHash = fullHash(header.stateHash, cfg);
+
+    cfg.core.instructions = instr;
+    std::vector<AccessGeneratorPtr> gens;
+    gens.reserve(cfg.numCores);
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(mix.apps[i], i, seed_salt));
+
+    System sys(cfg, std::move(gens));
+    sys.warmup(header.warmupPerCore);
+    return capture(sys, header);
+}
+
+RunResult
+runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
+                     std::uint64_t instr_per_core,
+                     std::uint64_t seed_salt, const Checkpoint &ckpt,
+                     bool fork)
+{
+    if (mix.apps.size() != cfg.numCores)
+        throw CkptError("ckpt: mix width != core count");
+
+    const std::uint64_t want_state =
+        stateHash(cfg, describeMix(mix), seed_salt,
+                  resolveWarmCount(cfg));
+    if (want_state != ckpt.header.stateHash)
+        throw CkptError(
+            "ckpt: configuration/stream mismatch (the checkpoint was "
+            "taken under a different system configuration, workload, "
+            "seed or warm-up length)");
+    if (!fork &&
+        fullHash(want_state, cfg) != ckpt.header.fullHash)
+        throw CkptError(
+            "ckpt: policy mismatch (the checkpoint was taken under a "
+            "different partitioning policy; use a warmup-fork restore "
+            "to seed a different policy)");
+
+    cfg.core.instructions = instr_per_core;
+    std::vector<AccessGeneratorPtr> gens;
+    gens.reserve(cfg.numCores);
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(mix.apps[i], i, seed_salt));
+
+    System sys(cfg, std::move(gens));
+    Deserializer d(ckpt.payload);
+    sys.restore(d, fork);
+    if (!d.atEnd())
+        throw CkptError("ckpt: trailing bytes after the last section");
+    sys.run();
+    return harvest(sys, mix.name);
+}
+
+} // namespace dapsim::ckpt

@@ -87,6 +87,23 @@ class Rng
         return r > cap ? cap : r;
     }
 
+    /** Raw engine state, for checkpointing (see src/ckpt/). */
+    struct State
+    {
+        std::uint64_t s0;
+        std::uint64_t s1;
+    };
+
+    State state() const { return {s0_, s1_}; }
+
+    /** Overwrite the engine state (checkpoint restore). */
+    void
+    setState(const State &st)
+    {
+        s0_ = st.s0;
+        s1_ = st.s1;
+    }
+
   private:
     std::uint64_t s0_;
     std::uint64_t s1_;

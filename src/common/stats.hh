@@ -55,6 +55,14 @@ class Average
         count_ = 0;
     }
 
+    /** Overwrite the accumulator (checkpoint restore). */
+    void
+    restoreState(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
+    }
+
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;

@@ -195,4 +195,51 @@ RobCore::pump()
     }
 }
 
+void
+RobCore::save(ckpt::Serializer &s) const
+{
+    if (!inflight_.empty() || wakeupPending_)
+        throw ckpt::CkptError(
+            "ckpt: core not quiescent (reads in flight); checkpoints "
+            "must be taken before the timed run");
+    s.u64(pending_.addr);
+    s.boolean(pending_.isWrite);
+    s.u64(pending_.instrGap);
+    s.boolean(pendingValid_);
+    s.boolean(streamEnded_);
+    s.u64(fetchInstr_);
+    s.f64(retired_);
+    s.u64(lastRetireTick_);
+    s.u64(tokenBase_);
+    s.u64(finishedAt_);
+    s.u64(wakeups.value());
+    s.u64(readsIssued.value());
+    s.u64(writesIssued.value());
+    s.f64(readLatency.sum());
+    s.u64(readLatency.count());
+}
+
+void
+RobCore::restore(ckpt::Deserializer &d)
+{
+    if (!inflight_.empty() || wakeupPending_)
+        throw ckpt::CkptError(
+            "ckpt: cannot restore into a core with reads in flight");
+    pending_.addr = d.u64();
+    pending_.isWrite = d.boolean();
+    pending_.instrGap = d.u64();
+    pendingValid_ = d.boolean();
+    streamEnded_ = d.boolean();
+    fetchInstr_ = d.u64();
+    retired_ = d.f64();
+    lastRetireTick_ = d.u64();
+    tokenBase_ = d.u64();
+    finishedAt_ = d.u64();
+    wakeups.set(d.u64());
+    readsIssued.set(d.u64());
+    writesIssued.set(d.u64());
+    const double rl_sum = d.f64();
+    readLatency.restoreState(rl_sum, d.u64());
+}
+
 } // namespace dapsim

@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 
+#include "ckpt/serializer.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -88,6 +89,14 @@ class RobCore
     }
 
     std::uint32_t coreId() const { return coreId_; }
+
+    /**
+     * Checkpoint retirement/fetch state (see src/ckpt/). Outstanding
+     * reads hold completion closures, so save() requires an empty
+     * in-flight window — true before start() has been called.
+     */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
 
     Counter wakeups;
     Counter readsIssued;

@@ -69,4 +69,37 @@ StridePrefetcher::observe(Addr addr, std::vector<Addr> &out)
     return n;
 }
 
+void
+StridePrefetcher::save(ckpt::Serializer &s) const
+{
+    s.u64(streams_.size());
+    for (const Stream &st : streams_) {
+        s.boolean(st.valid);
+        s.u64(st.page);
+        s.u64(st.lastBlock);
+        s.i64(st.stride);
+        s.u32(st.confidence);
+        s.u64(st.lastUse);
+    }
+    s.u64(useClock_);
+    s.u64(issued.value());
+}
+
+void
+StridePrefetcher::restore(ckpt::Deserializer &d)
+{
+    if (d.u64() != streams_.size())
+        throw ckpt::CkptError("ckpt: stride stream count mismatch");
+    for (Stream &st : streams_) {
+        st.valid = d.boolean();
+        st.page = d.u64();
+        st.lastBlock = d.u64();
+        st.stride = d.i64();
+        st.confidence = d.u32();
+        st.lastUse = d.u64();
+    }
+    useClock_ = d.u64();
+    issued.set(d.u64());
+}
+
 } // namespace dapsim

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -43,6 +44,10 @@ class StridePrefetcher
      * to @p out. Returns the number appended.
      */
     std::size_t observe(Addr addr, std::vector<Addr> &out);
+
+    /** Checkpoint stream table + statistics (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
 
     Counter issued;
 

@@ -152,4 +152,50 @@ DapPolicy::shouldWriteThrough(Addr)
     return true;
 }
 
+void
+DapPolicy::save(ckpt::Serializer &s) const
+{
+    s.i64(targets_.nFwb);
+    s.i64(targets_.nWb);
+    s.i64(targets_.nIfrm);
+    s.i64(targets_.nSfrm);
+    s.i64(targets_.nWriteThrough);
+    s.boolean(targets_.active);
+    s.i64(fwbCredits_);
+    s.i64(wbCredits_);
+    s.i64(ifrmCredits_);
+    s.i64(sfrmCredits_);
+    s.i64(wtCredits_);
+    s.u64(fwbApplied.value());
+    s.u64(wbApplied.value());
+    s.u64(ifrmApplied.value());
+    s.u64(sfrmApplied.value());
+    s.u64(writeThroughApplied.value());
+    s.u64(windowsPartitioned.value());
+    s.u64(windowsTotal.value());
+}
+
+void
+DapPolicy::restore(ckpt::Deserializer &d)
+{
+    targets_.nFwb = d.i64();
+    targets_.nWb = d.i64();
+    targets_.nIfrm = d.i64();
+    targets_.nSfrm = d.i64();
+    targets_.nWriteThrough = d.i64();
+    targets_.active = d.boolean();
+    fwbCredits_ = d.i64();
+    wbCredits_ = d.i64();
+    ifrmCredits_ = d.i64();
+    sfrmCredits_ = d.i64();
+    wtCredits_ = d.i64();
+    fwbApplied.set(d.u64());
+    wbApplied.set(d.u64());
+    ifrmApplied.set(d.u64());
+    sfrmApplied.set(d.u64());
+    writeThroughApplied.set(d.u64());
+    windowsPartitioned.set(d.u64());
+    windowsTotal.set(d.u64());
+}
+
 } // namespace dapsim

@@ -113,6 +113,9 @@ class DapPolicy final : public PartitionPolicy
     std::int64_t ifrmCredits() const { return ifrmCredits_; }
     std::int64_t sfrmCredits() const { return sfrmCredits_; }
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     // Decision counts for Fig 7.
     Counter fwbApplied;
     Counter wbApplied;

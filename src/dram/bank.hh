@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "ckpt/serializer.hh"
 #include "common/types.hh"
 
 namespace dapsim
@@ -61,6 +62,23 @@ class Bank
     /** All-bank refresh: closes the row and occupies the bank for
      *  tRFC from @p now (or from its current busy point). */
     void refresh(const DramConfig &cfg, Tick now);
+
+    /** Checkpoint the row-buffer state (see src/ckpt/). */
+    void
+    save(ckpt::Serializer &s) const
+    {
+        s.u64(openRow_);
+        s.u64(readyAt_);
+        s.u64(activatedAt_);
+    }
+
+    void
+    restore(ckpt::Deserializer &d)
+    {
+        openRow_ = d.u64();
+        readyAt_ = d.u64();
+        activatedAt_ = d.u64();
+    }
 
   private:
     std::uint64_t openRow_ = kNoRow;

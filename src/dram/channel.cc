@@ -218,4 +218,75 @@ Channel::kick()
     }
 }
 
+void
+Channel::save(ckpt::Serializer &s) const
+{
+    if (!readQ_.empty() || !writeQ_.empty() || kickPending_)
+        throw ckpt::CkptError(
+            "ckpt: DRAM channel not quiescent (requests in flight); "
+            "checkpoints must be taken before the timed run");
+    s.u64(banks_.size());
+    for (const Bank &b : banks_)
+        b.save(s);
+    s.u64(busResv_.size());
+    for (const auto &[start, end] : busResv_) {
+        s.u64(start);
+        s.u64(end);
+    }
+    s.boolean(lastWasWrite_);
+    s.boolean(draining_);
+    s.u64(nextKickAt_);
+    s.u64(busBusy_);
+    s.u64(kicks.value());
+    s.u64(kicksEmpty.value());
+    s.u64(kicksWait.value());
+    s.u64(kicksIssue.value());
+    s.u64(casReads.value());
+    s.u64(casWrites.value());
+    s.u64(rowHits.value());
+    s.u64(rowMisses.value());
+    s.u64(turnarounds.value());
+    s.u64(refreshes.value());
+    s.f64(readQueueDelay.sum());
+    s.u64(readQueueDelay.count());
+    s.f64(readLatency.sum());
+    s.u64(readLatency.count());
+}
+
+void
+Channel::restore(ckpt::Deserializer &d)
+{
+    if (!readQ_.empty() || !writeQ_.empty() || kickPending_)
+        throw ckpt::CkptError(
+            "ckpt: cannot restore into a DRAM channel with requests "
+            "in flight");
+    if (d.u64() != banks_.size())
+        throw ckpt::CkptError("ckpt: DRAM bank count mismatch");
+    for (Bank &b : banks_)
+        b.restore(d);
+    busResv_.resize(d.u64());
+    for (auto &[start, end] : busResv_) {
+        start = d.u64();
+        end = d.u64();
+    }
+    lastWasWrite_ = d.boolean();
+    draining_ = d.boolean();
+    nextKickAt_ = d.u64();
+    busBusy_ = d.u64();
+    kicks.set(d.u64());
+    kicksEmpty.set(d.u64());
+    kicksWait.set(d.u64());
+    kicksIssue.set(d.u64());
+    casReads.set(d.u64());
+    casWrites.set(d.u64());
+    rowHits.set(d.u64());
+    rowMisses.set(d.u64());
+    turnarounds.set(d.u64());
+    refreshes.set(d.u64());
+    const double rqd_sum = d.f64();
+    readQueueDelay.restoreState(rqd_sum, d.u64());
+    const double rl_sum = d.f64();
+    readLatency.restoreState(rl_sum, d.u64());
+}
+
 } // namespace dapsim

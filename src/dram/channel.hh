@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -57,6 +58,15 @@ class Channel
 
     /** Ticks the data bus has been occupied (for utilization stats). */
     Tick busBusyTicks() const { return busBusy_; }
+
+    /**
+     * Checkpoint bank/bus/scheduler state (see src/ckpt/). Requests in
+     * flight hold completion closures that cannot be serialized, so
+     * save() requires empty queues and no pending scheduler kick — the
+     * quiescent state every channel is in before the timed run starts.
+     */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
 
     // Aggregate statistics.
     Counter kicks;

@@ -136,4 +136,21 @@ DramSystem::busUtilization(Tick elapsed) const
            (static_cast<double>(elapsed) * cfg_.channels);
 }
 
+void
+DramSystem::save(ckpt::Serializer &s) const
+{
+    s.u64(channels_.size());
+    for (const auto &c : channels_)
+        c->save(s);
+}
+
+void
+DramSystem::restore(ckpt::Deserializer &d)
+{
+    if (d.u64() != channels_.size())
+        throw ckpt::CkptError("ckpt: DRAM channel count mismatch");
+    for (auto &c : channels_)
+        c->restore(d);
+}
+
 } // namespace dapsim

@@ -67,6 +67,10 @@ class DramSystem
     Channel &channel(std::uint32_t i) { return *channels_[i]; }
     std::uint32_t numChannels() const { return cfg_.channels; }
 
+    /** Checkpoint every channel's state (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
+
   private:
     struct Decoded
     {

@@ -71,7 +71,8 @@ JobSpec::displayLabel() const
 }
 
 JobResult
-runJob(const JobSpec &spec, std::size_t index)
+runJob(const JobSpec &spec, std::size_t index,
+       const ckpt::Checkpoint *fork)
 {
     JobResult out;
     out.index = index;
@@ -102,8 +103,14 @@ runJob(const JobSpec &spec, std::size_t index)
                     "job has a zero instruction budget");
             SystemConfig cfg = spec.cfg;
             cfg.policy = spec.policy;
-            out.result = runMix(cfg, spec.mix, spec.instr,
-                                spec.seedSalt);
+            if (fork != nullptr) {
+                out.result = ckpt::runMixFromCheckpoint(
+                    cfg, spec.mix, spec.instr, spec.seedSalt, *fork,
+                    /*fork=*/true);
+            } else {
+                out.result = runMix(cfg, spec.mix, spec.instr,
+                                    spec.seedSalt);
+            }
         }
         out.ok = true;
     } catch (const std::exception &e) {

@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 
+#include "ckpt/checkpoint.hh"
 #include "sim/metrics.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
@@ -89,8 +90,14 @@ struct JobResult
  * simulation are captured into the JobResult; they never propagate.
  * (@note fatal()/panic() terminate the process by design — impossible
  * configurations should be rejected before sweep submission.)
+ *
+ * With @p fork the job skips its own functional warm-up and instead
+ * restores the shared post-warmup checkpoint (policy section skipped),
+ * which must match the spec's stateHash — the sweep runner's
+ * warmup-fork mode. Ignored for custom jobs.
  */
-JobResult runJob(const JobSpec &spec, std::size_t index);
+JobResult runJob(const JobSpec &spec, std::size_t index,
+                 const ckpt::Checkpoint *fork = nullptr);
 
 } // namespace dapsim::exp
 

@@ -1,9 +1,24 @@
 #include "exp/sweep_runner.hh"
 
+#include <cinttypes>
+
 #include "exp/thread_pool.hh"
 
 namespace dapsim::exp
 {
+
+namespace
+{
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+} // namespace
 
 std::size_t
 SweepRunner::add(JobSpec spec)
@@ -34,6 +49,87 @@ SweepRunner::addGrid(const SystemConfig &cfg,
 }
 
 void
+SweepRunner::buildForkGroups()
+{
+    groups_.clear();
+    jobGroup_.assign(specs_.size(), nullptr);
+    if (!warmupFork_)
+        return;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const JobSpec &spec = specs_[i];
+        // Only standard, well-formed jobs fork; everything else keeps
+        // the unforked path (and custom jobs have no warm-up to share).
+        if (spec.custom || spec.instr == 0 || spec.cfg.numCores == 0 ||
+            spec.mix.apps.size() != spec.cfg.numCores)
+            continue;
+        const std::uint64_t key = ckpt::stateHash(
+            spec.cfg, ckpt::describeMix(spec.mix), spec.seedSalt,
+            ckpt::resolveWarmCount(spec.cfg));
+        ForkGroup &g = groups_[key];
+        g.stateHash = key;
+        jobGroup_[i] = &g;
+    }
+}
+
+void
+SweepRunner::prepareGroup(ForkGroup &group, std::size_t i)
+{
+    const JobSpec &spec = specs_[i];
+    SystemConfig cfg = spec.cfg;
+    cfg.policy = spec.policy;
+
+    const std::string path =
+        ckptDir_.empty()
+            ? std::string()
+            : ckptDir_ + "/warmup-" + hashHex(group.stateHash) + ".ckpt";
+
+    if (!path.empty()) {
+        try {
+            auto loaded = std::make_shared<ckpt::Checkpoint>(
+                ckpt::readFile(path));
+            if (loaded->header.stateHash == group.stateHash) {
+                group.ckpt = std::move(loaded);
+                return;
+            }
+        } catch (const std::exception &) {
+            // Missing or corrupt: regenerate below.
+        }
+    }
+
+    try {
+        auto made = std::make_shared<ckpt::Checkpoint>(
+            ckpt::makeWarmupCheckpoint(cfg, spec.mix, spec.instr,
+                                       spec.seedSalt));
+        ++warmupsExecuted_;
+        if (!path.empty()) {
+            try {
+                ckpt::writeFile(path, *made);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "sweep: cannot keep %s: %s\n",
+                             path.c_str(), e.what());
+            }
+        }
+        group.ckpt = std::move(made);
+    } catch (const std::exception &e) {
+        // Leave ckpt null: the group's jobs run their own warm-up.
+        std::fprintf(stderr,
+                     "sweep: shared warmup failed (%s); group runs "
+                     "unforked\n",
+                     e.what());
+    }
+}
+
+JobResult
+SweepRunner::execute(std::size_t i)
+{
+    ForkGroup *g = jobGroup_[i];
+    if (g == nullptr)
+        return runJob(specs_[i], i);
+    std::call_once(g->once, [this, g, i] { prepareGroup(*g, i); });
+    return runJob(specs_[i], i, g->ckpt.get());
+}
+
+void
 SweepRunner::drainReady()
 {
     // Caller holds mutex_ (or is single-threaded in serial mode).
@@ -52,6 +148,8 @@ SweepRunner::run(std::size_t threads)
     done_.assign(n, false);
     nextToDeliver_ = 0;
     completed_ = 0;
+    warmupsExecuted_ = 0;
+    buildForkGroups();
 
     for (ResultSink *sink : sinks_)
         sink->begin(n);
@@ -72,12 +170,12 @@ SweepRunner::run(std::size_t threads)
 
     if (threads <= 1) {
         for (std::size_t i = 0; i < n; ++i)
-            finish(i, runJob(specs_[i], i));
+            finish(i, execute(i));
     } else {
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < n; ++i)
             pool.submit([this, i, &finish] {
-                finish(i, runJob(specs_[i], i));
+                finish(i, execute(i));
             });
         pool.wait();
     }

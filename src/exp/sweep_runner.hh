@@ -17,9 +17,12 @@
 #ifndef DAPSIM_EXP_SWEEP_RUNNER_HH
 #define DAPSIM_EXP_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "exp/job.hh"
@@ -50,6 +53,31 @@ class SweepRunner
     /** Report per-job progress lines to stderr (default off). */
     void setProgress(bool on) { progress_ = on; }
 
+    /**
+     * Warmup-fork mode: group jobs by their checkpoint stateHash
+     * (configuration x stream x seed x warm-up length — in practice
+     * (arch, workload, warmup) tuples), execute the shared functional
+     * warm-up ONCE per group, snapshot it, and fork every other job of
+     * the group from the in-memory checkpoint with its own policy and
+     * fresh statistics. Results are bit-identical to a non-forked
+     * sweep because the warm state never depends on the policy.
+     *
+     * With a non-empty @p ckpt_dir the per-group checkpoints are also
+     * kept on disk as `warmup-<statehash>.ckpt` and reused by later
+     * sweeps; unreadable or mismatched files are regenerated. Custom
+     * jobs and jobs that would fail validation run unforked.
+     */
+    void
+    setWarmupFork(bool on, std::string ckpt_dir = "")
+    {
+        warmupFork_ = on;
+        ckptDir_ = std::move(ckpt_dir);
+    }
+
+    /** Shared warm-ups actually executed (not loaded from disk) by the
+     *  last run() — for tests and telemetry. */
+    std::uint64_t warmupsExecuted() const { return warmupsExecuted_; }
+
     std::size_t jobCount() const { return specs_.size(); }
 
     /**
@@ -61,12 +89,38 @@ class SweepRunner
     std::vector<JobResult> run(std::size_t threads = 1);
 
   private:
+    /** One warmup-fork group: jobs sharing a post-warmup state. */
+    struct ForkGroup
+    {
+        std::uint64_t stateHash = 0;
+        std::once_flag once;
+        /** Shared snapshot; null when preparation failed (the group's
+         *  jobs then fall back to running their own warm-up). */
+        std::shared_ptr<const ckpt::Checkpoint> ckpt;
+    };
+
     /** Deliver any contiguous completed prefix to the sinks. */
     void drainReady();
+
+    /** Map each job to its fork group (null = run unforked). */
+    void buildForkGroups();
+
+    /** Load-or-execute the shared warm-up of @p group, keyed off the
+     *  spec of @p i, the first job that reached it. */
+    void prepareGroup(ForkGroup &group, std::size_t i);
+
+    /** Run job @p i, forking from its group's checkpoint if any. */
+    JobResult execute(std::size_t i);
 
     std::vector<JobSpec> specs_;
     std::vector<ResultSink *> sinks_;
     bool progress_ = false;
+
+    bool warmupFork_ = false;
+    std::string ckptDir_;
+    std::atomic<std::uint64_t> warmupsExecuted_{0};
+    std::map<std::uint64_t, ForkGroup> groups_;
+    std::vector<ForkGroup *> jobGroup_;
 
     // run() state
     std::mutex mutex_;

@@ -286,4 +286,39 @@ AlloyCache::handleWrite(Addr addr)
         mm_.access(addr, true);
 }
 
+void
+AlloyCache::save(ckpt::Serializer &s) const
+{
+    saveBase(s);
+    array_.save(s);
+    dir_.save(s, [](ckpt::Serializer &sr, const Line &l) {
+        sr.boolean(l.dirty);
+    });
+    dbc_.save(s);
+    s.bytes(predictor_.data(), predictor_.size());
+    s.u64(predictorHits.value());
+    s.u64(predictorMisses.value());
+    s.u64(earlyMissReads.value());
+    s.u64(wastedEarlyReads.value());
+}
+
+void
+AlloyCache::restore(ckpt::Deserializer &d)
+{
+    restoreBase(d);
+    array_.restore(d);
+    dir_.restore(d, [](ckpt::Deserializer &dr, Line &l) {
+        l.dirty = dr.boolean();
+    });
+    dbc_.restore(d);
+    const std::vector<std::uint8_t> pred = d.bytes();
+    if (pred.size() != predictor_.size())
+        throw ckpt::CkptError("ckpt: Alloy predictor size mismatch");
+    predictor_ = pred;
+    predictorHits.set(d.u64());
+    predictorMisses.set(d.u64());
+    earlyMissReads.set(d.u64());
+    wastedEarlyReads.set(d.u64());
+}
+
 } // namespace dapsim

@@ -71,6 +71,9 @@ class AlloyCache final : public MemSideCache
 
     void warmTouch(Addr addr, bool is_write) override;
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     Counter predictorHits;    ///< correct hit/miss predictions
     Counter predictorMisses;  ///< mispredictions
     Counter earlyMissReads;   ///< memory reads launched on predicted miss

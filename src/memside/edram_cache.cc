@@ -252,4 +252,32 @@ EdramCache::handleWrite(Addr addr)
     writeArray_.access(dataAddr(sec, blk), true);
 }
 
+void
+EdramCache::save(ckpt::Serializer &s) const
+{
+    saveBase(s);
+    readArray_.save(s);
+    writeArray_.save(s);
+    dir_.save(s, [](ckpt::Serializer &sr, const SectorMeta &m) {
+        sr.u64(m.validMask);
+        sr.u64(m.dirtyMask);
+        sr.u64(m.touchedMask);
+    });
+    footprint_.save(s);
+}
+
+void
+EdramCache::restore(ckpt::Deserializer &d)
+{
+    restoreBase(d);
+    readArray_.restore(d);
+    writeArray_.restore(d);
+    dir_.restore(d, [](ckpt::Deserializer &dr, SectorMeta &m) {
+        m.validMask = dr.u64();
+        m.dirtyMask = dr.u64();
+        m.touchedMask = dr.u64();
+    });
+    footprint_.restore(d);
+}
+
 } // namespace dapsim

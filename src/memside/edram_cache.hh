@@ -83,6 +83,9 @@ class EdramCache final : public MemSideCache
 
     void warmTouch(Addr addr, bool is_write) override;
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
   private:
     std::uint64_t sectorNumber(Addr a) const { return a / cfg_.sectorBytes; }
     std::uint64_t setOf(std::uint64_t sec) const

@@ -58,4 +58,30 @@ FootprintPrefetcher::recordEviction(std::uint64_t sector_number,
     e.mask = used_mask;
 }
 
+void
+FootprintPrefetcher::save(ckpt::Serializer &s) const
+{
+    s.u64(table_.size());
+    s.u32(blocksPerSector_);
+    for (const Entry &e : table_) {
+        s.u64(e.tag);
+        s.u64(e.mask);
+    }
+    s.u64(predictions.value());
+    s.u64(historyHits.value());
+}
+
+void
+FootprintPrefetcher::restore(ckpt::Deserializer &d)
+{
+    if (d.u64() != table_.size() || d.u32() != blocksPerSector_)
+        throw ckpt::CkptError("ckpt: footprint table shape mismatch");
+    for (Entry &e : table_) {
+        e.tag = d.u64();
+        e.mask = d.u64();
+    }
+    predictions.set(d.u64());
+    historyHits.set(d.u64());
+}
+
 } // namespace dapsim

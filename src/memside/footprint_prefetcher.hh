@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -46,6 +47,10 @@ class FootprintPrefetcher
     /** Record the used-block mask when a sector is evicted. */
     void recordEviction(std::uint64_t sector_number,
                         std::uint64_t used_mask);
+
+    /** Checkpoint history table + statistics (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
 
     Counter predictions;
     Counter historyHits;

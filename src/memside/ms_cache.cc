@@ -43,4 +43,65 @@ MemSideCache::windowTick()
                       [this] { windowTick(); });
 }
 
+void
+MemSideCache::saveBase(ckpt::Serializer &s) const
+{
+    if (windowsRunning_)
+        throw ckpt::CkptError(
+            "ckpt: MS$ window machinery running; checkpoints must be "
+            "taken before the timed run");
+    s.u64(window_.aMs);
+    s.u64(window_.aMsRead);
+    s.u64(window_.aMsWrite);
+    s.u64(window_.aMm);
+    s.u64(window_.readMisses);
+    s.u64(window_.writes);
+    s.u64(window_.cleanHits);
+    s.u64(window_.lookups);
+    s.u64(window_.hits);
+    s.u64(readHits.value());
+    s.u64(readMisses.value());
+    s.u64(writeHits.value());
+    s.u64(writeMisses.value());
+    s.u64(cleanReadHits.value());
+    s.u64(fills.value());
+    s.u64(fillsBypassed.value());
+    s.u64(writesBypassed.value());
+    s.u64(forcedReadMisses.value());
+    s.u64(speculativeReads.value());
+    s.u64(speculativeWasted.value());
+    s.u64(sectorEvictions.value());
+    s.u64(dirtyWritebacks.value());
+}
+
+void
+MemSideCache::restoreBase(ckpt::Deserializer &d)
+{
+    if (windowsRunning_)
+        throw ckpt::CkptError(
+            "ckpt: cannot restore into an MS$ with windows running");
+    window_.aMs = d.u64();
+    window_.aMsRead = d.u64();
+    window_.aMsWrite = d.u64();
+    window_.aMm = d.u64();
+    window_.readMisses = d.u64();
+    window_.writes = d.u64();
+    window_.cleanHits = d.u64();
+    window_.lookups = d.u64();
+    window_.hits = d.u64();
+    readHits.set(d.u64());
+    readMisses.set(d.u64());
+    writeHits.set(d.u64());
+    writeMisses.set(d.u64());
+    cleanReadHits.set(d.u64());
+    fills.set(d.u64());
+    fillsBypassed.set(d.u64());
+    writesBypassed.set(d.u64());
+    forcedReadMisses.set(d.u64());
+    speculativeReads.set(d.u64());
+    speculativeWasted.set(d.u64());
+    sectorEvictions.set(d.u64());
+    dirtyWritebacks.set(d.u64());
+}
+
 } // namespace dapsim

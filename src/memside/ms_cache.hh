@@ -68,6 +68,15 @@ class MemSideCache
     void startWindows(Cycle window_cycles);
     void stopWindows();
 
+    /**
+     * Checkpoint controller state (see src/ckpt/). Derived classes
+     * extend this with their directories/arrays; the base serializes
+     * the shared window counters and statistics. save() requires the
+     * window machinery to be stopped (the pre-run quiescent state).
+     */
+    virtual void save(ckpt::Serializer &s) const { saveBase(s); }
+    virtual void restore(ckpt::Deserializer &d) { restoreBase(d); }
+
     DramSystem &mainMemory() { return mm_; }
     PartitionPolicy &policy() { return policy_; }
 
@@ -117,6 +126,10 @@ class MemSideCache
     Counter dirtyWritebacks;    ///< dirty blocks written to main memory
 
   protected:
+    /** Shared part of save()/restore() for derived classes. */
+    void saveBase(ckpt::Serializer &s) const;
+    void restoreBase(ckpt::Deserializer &d);
+
     /** Demand counters being accumulated for the current window. */
     WindowCounters window_;
 

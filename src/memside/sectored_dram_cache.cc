@@ -454,4 +454,36 @@ SectoredDramCache::flushSet(std::uint64_t set)
     markMetaDirty(set);
 }
 
+void
+SectoredDramCache::save(ckpt::Serializer &s) const
+{
+    saveBase(s);
+    array_.save(s);
+    dir_.save(s, [](ckpt::Serializer &sr, const SectorMeta &m) {
+        sr.u64(m.validMask);
+        sr.u64(m.dirtyMask);
+        sr.u64(m.touchedMask);
+    });
+    tagCache_.save(s);
+    footprint_.save(s);
+    s.u64(steeredToMemory.value());
+    s.u64(steerOverridden.value());
+}
+
+void
+SectoredDramCache::restore(ckpt::Deserializer &d)
+{
+    restoreBase(d);
+    array_.restore(d);
+    dir_.restore(d, [](ckpt::Deserializer &dr, SectorMeta &m) {
+        m.validMask = dr.u64();
+        m.dirtyMask = dr.u64();
+        m.touchedMask = dr.u64();
+    });
+    tagCache_.restore(d);
+    footprint_.restore(d);
+    steeredToMemory.set(d.u64());
+    steerOverridden.set(d.u64());
+}
+
 } // namespace dapsim

@@ -87,6 +87,9 @@ class SectoredDramCache final : public MemSideCache
     /** Test/diagnostic probe: is this block valid in the cache? */
     bool isBlockResident(Addr addr) const;
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     Counter steeredToMemory; ///< SBD latency-based steers
     Counter steerOverridden; ///< steers cancelled because block dirty
 

@@ -65,4 +65,34 @@ BatmanPolicy::collectSetsToFlush()
     return out;
 }
 
+void
+BatmanPolicy::save(ckpt::Serializer &s) const
+{
+    s.u64(disabled_);
+    s.u64(epochLookups_);
+    s.u64(epochHits_);
+    s.u64(windowCount_);
+    s.u64(pendingFlush_.size());
+    for (std::uint64_t set : pendingFlush_)
+        s.u64(set);
+    s.u64(adjustmentsUp.value());
+    s.u64(adjustmentsDown.value());
+}
+
+void
+BatmanPolicy::restore(ckpt::Deserializer &d)
+{
+    disabled_ = d.u64();
+    epochLookups_ = d.u64();
+    epochHits_ = d.u64();
+    windowCount_ = d.u64();
+    pendingFlush_.clear();
+    const std::uint64_t flushes = d.u64();
+    pendingFlush_.reserve(flushes);
+    for (std::uint64_t i = 0; i < flushes; ++i)
+        pendingFlush_.push_back(d.u64());
+    adjustmentsUp.set(d.u64());
+    adjustmentsDown.set(d.u64());
+}
+
 } // namespace dapsim

@@ -51,6 +51,9 @@ class BatmanPolicy final : public PartitionPolicy
 
     std::uint64_t disabledSets() const { return disabled_; }
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     Counter adjustmentsUp;
     Counter adjustmentsDown;
 

@@ -39,4 +39,28 @@ BearPolicy::shouldBypassFillForReuse(Addr addr)
     return true;
 }
 
+void
+BearPolicy::save(ckpt::Serializer &s) const
+{
+    s.bytes(reuse_.data(), reuse_.size());
+    const Rng::State st = rng_.state();
+    s.u64(st.s0);
+    s.u64(st.s1);
+    s.u64(bypasses.value());
+}
+
+void
+BearPolicy::restore(ckpt::Deserializer &d)
+{
+    const std::vector<std::uint8_t> reuse = d.bytes();
+    if (reuse.size() != reuse_.size())
+        throw ckpt::CkptError("ckpt: BEAR reuse table size mismatch");
+    reuse_ = reuse;
+    Rng::State st;
+    st.s0 = d.u64();
+    st.s1 = d.u64();
+    rng_.setState(st);
+    bypasses.set(d.u64());
+}
+
 } // namespace dapsim

@@ -47,6 +47,9 @@ class BearPolicy final : public PartitionPolicy
     void noteReadOutcome(Addr addr, bool hit) override;
     const char *name() const override { return "bear"; }
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     Counter bypasses;
 
   private:

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/serializer.hh"
 #include "common/types.hh"
 
 namespace dapsim
@@ -108,6 +109,14 @@ class PartitionPolicy
     virtual std::vector<std::uint64_t> collectSetsToFlush() { return {}; }
 
     virtual const char *name() const { return "baseline"; }
+
+    /**
+     * Checkpoint learned state (see src/ckpt/). Stateless policies keep
+     * the empty default; stateful ones serialize everything that feeds
+     * future decisions so a restored run is bit-identical.
+     */
+    virtual void save(ckpt::Serializer &) const {}
+    virtual void restore(ckpt::Deserializer &) {}
 };
 
 /** The optimized baseline: tag cache only, no partitioning. */

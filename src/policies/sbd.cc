@@ -1,5 +1,7 @@
 #include "policies/sbd.hh"
 
+#include <iterator>
+
 namespace dapsim
 {
 
@@ -88,6 +90,42 @@ SbdPolicy::collectCleaningRequests()
     std::vector<Addr> out;
     out.swap(pendingCleans_);
     return out;
+}
+
+void
+SbdPolicy::save(ckpt::Serializer &s) const
+{
+    bloom_.save(s);
+    s.u64(dirtyLru_.size());
+    for (std::uint64_t page : dirtyLru_)
+        s.u64(page);
+    s.u64(pendingCleans_.size());
+    for (Addr a : pendingCleans_)
+        s.u64(a);
+    s.u64(windowCount_);
+    s.u64(steersToMemory.value());
+    s.u64(pagesCleaned.value());
+}
+
+void
+SbdPolicy::restore(ckpt::Deserializer &d)
+{
+    bloom_.restore(d);
+    dirtyLru_.clear();
+    dirtyMap_.clear();
+    const std::uint64_t pages = d.u64();
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        dirtyLru_.push_back(d.u64());
+        dirtyMap_[dirtyLru_.back()] = std::prev(dirtyLru_.end());
+    }
+    pendingCleans_.clear();
+    const std::uint64_t cleans = d.u64();
+    pendingCleans_.reserve(cleans);
+    for (std::uint64_t i = 0; i < cleans; ++i)
+        pendingCleans_.push_back(d.u64());
+    windowCount_ = d.u64();
+    steersToMemory.set(d.u64());
+    pagesCleaned.set(d.u64());
 }
 
 } // namespace dapsim

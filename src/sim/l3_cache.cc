@@ -84,4 +84,32 @@ L3Cache::access(Addr addr, bool is_write, Done done)
     });
 }
 
+void
+L3Cache::save(ckpt::Serializer &s) const
+{
+    dir_.save(s, [](ckpt::Serializer &sr, const Line &l) {
+        sr.boolean(l.dirty);
+    });
+    s.u64(hits.value());
+    s.u64(misses.value());
+    s.u64(readMisses.value());
+    s.u64(writebacksToMs.value());
+    s.f64(readMissLatency.sum());
+    s.u64(readMissLatency.count());
+}
+
+void
+L3Cache::restore(ckpt::Deserializer &d)
+{
+    dir_.restore(d, [](ckpt::Deserializer &dr, Line &l) {
+        l.dirty = dr.boolean();
+    });
+    hits.set(d.u64());
+    misses.set(d.u64());
+    readMisses.set(d.u64());
+    writebacksToMs.set(d.u64());
+    const double rml_sum = d.f64();
+    readMissLatency.restoreState(rml_sum, d.u64());
+}
+
 } // namespace dapsim

@@ -74,6 +74,10 @@ class L3Cache
 
     const L3Config &config() const { return cfg_; }
 
+    /** Checkpoint directory contents and counters (see src/ckpt/). */
+    void save(ckpt::Serializer &s) const;
+    void restore(ckpt::Deserializer &d);
+
     Counter hits;
     Counter misses;
     Counter readMisses;

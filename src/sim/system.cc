@@ -334,6 +334,116 @@ System::dumpStats(std::ostream &os)
 }
 
 void
+System::save(ckpt::Serializer &s) const
+{
+    // The only pending events at tick 0 are the construction-time ones
+    // (staggered refresh, when enabled), which a freshly built
+    // identical System reproduces exactly; everything else would carry
+    // closures we cannot serialize.
+    if (eq_.now() != 0 || eq_.executed() != 0)
+        throw ckpt::CkptError(
+            "ckpt: checkpoints must be taken at tick 0, before run()");
+
+    s.beginSection("meta");
+    s.u64(eq_.pending());
+    s.endSection();
+
+    s.beginSection("gens");
+    s.u64(gens_.size());
+    for (const auto &g : gens_)
+        g->save(s);
+    s.endSection();
+
+    s.beginSection("cores");
+    s.u64(cores_.size());
+    for (const auto &c : cores_)
+        c->save(s);
+    s.endSection();
+
+    s.beginSection("prefetchers");
+    s.u64(prefetchers_.size());
+    for (const auto &p : prefetchers_)
+        p->save(s);
+    s.endSection();
+
+    s.beginSection("l3");
+    l3_->save(s);
+    s.endSection();
+
+    s.beginSection("ms");
+    ms_->save(s);
+    s.endSection();
+
+    s.beginSection("mm");
+    mm_->save(s);
+    s.endSection();
+
+    // Last, so a fork-restore into a different policy can skip it.
+    s.beginSection("policy");
+    policy_->save(s);
+    s.endSection();
+}
+
+void
+System::restore(ckpt::Deserializer &d, bool skip_policy)
+{
+    if (eq_.now() != 0 || eq_.executed() != 0)
+        throw ckpt::CkptError(
+            "ckpt: restore requires a freshly constructed system");
+
+    d.enterSection("meta");
+    if (d.u64() != eq_.pending())
+        throw ckpt::CkptError(
+            "ckpt: pending-event count mismatch (the checkpoint was "
+            "taken under a different DRAM refresh configuration)");
+    d.leaveSection();
+
+    d.enterSection("gens");
+    if (d.u64() != gens_.size())
+        throw ckpt::CkptError("ckpt: generator count mismatch");
+    for (auto &g : gens_)
+        g->restore(d);
+    d.leaveSection();
+
+    d.enterSection("cores");
+    if (d.u64() != cores_.size())
+        throw ckpt::CkptError("ckpt: core count mismatch");
+    for (auto &c : cores_)
+        c->restore(d);
+    d.leaveSection();
+
+    d.enterSection("prefetchers");
+    if (d.u64() != prefetchers_.size())
+        throw ckpt::CkptError("ckpt: prefetcher count mismatch");
+    for (auto &p : prefetchers_)
+        p->restore(d);
+    d.leaveSection();
+
+    d.enterSection("l3");
+    l3_->restore(d);
+    d.leaveSection();
+
+    d.enterSection("ms");
+    ms_->restore(d);
+    d.leaveSection();
+
+    d.enterSection("mm");
+    mm_->restore(d);
+    d.leaveSection();
+
+    if (skip_policy) {
+        // Post-warmup policy state equals a fresh policy's (warmTouch
+        // never consults the policy), so the fork keeps its own.
+        if (d.skipSection() != "policy")
+            throw ckpt::CkptError("ckpt: expected trailing policy section");
+    } else {
+        d.enterSection("policy");
+        policy_->restore(d);
+        d.leaveSection();
+    }
+}
+
+void
 System::run(Tick max_ticks)
 {
     ms_->startWindows(cfg_.windowCycles);

@@ -123,6 +123,24 @@ class System
     /** The DAP policy, or nullptr when another policy is active. */
     DapPolicy *dapPolicy();
 
+    /**
+     * Checkpoint every stateful component (see src/ckpt/). Must be
+     * called at tick 0 before run() — the quiescent point where the
+     * only scheduled events are the construction-time ones a freshly
+     * built identical System reproduces. Throws ckpt::CkptError
+     * otherwise.
+     */
+    void save(ckpt::Serializer &s) const;
+
+    /**
+     * Restore component state saved by save() into this freshly
+     * constructed System. With @p skip_policy the checkpoint's policy
+     * section is ignored (warmup-fork: warm state is policy-invariant,
+     * so a checkpoint taken under one policy seeds any other).
+     * Throws ckpt::CkptError on any mismatch.
+     */
+    void restore(ckpt::Deserializer &d, bool skip_policy = false);
+
     /** Dump every component's statistics as `group.name value` rows
      *  (gem5-style stats file). */
     void dumpStats(std::ostream &os);

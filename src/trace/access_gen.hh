@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "ckpt/serializer.hh"
 #include "cpu/rob_core.hh"
 
 namespace dapsim
@@ -28,6 +29,14 @@ class AccessGenerator
 
     /** Produce the next request. Never ends (returns true). */
     virtual bool next(TraceRequest &out) = 0;
+
+    /**
+     * Checkpoint the stream cursor (see src/ckpt/) so a restored run
+     * resumes the exact same request sequence. Stateless generators
+     * keep the empty default.
+     */
+    virtual void save(ckpt::Serializer &) const {}
+    virtual void restore(ckpt::Deserializer &) {}
 };
 
 using AccessGeneratorPtr = std::unique_ptr<AccessGenerator>;

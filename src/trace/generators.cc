@@ -62,6 +62,29 @@ StreamKernelGenerator::StreamKernelGenerator(std::uint64_t footprint_bytes,
         fatal("StreamKernelGenerator: footprint too small");
 }
 
+void
+SyntheticGenerator::save(ckpt::Serializer &s) const
+{
+    const Rng::State st = rng_.state();
+    s.u64(st.s0);
+    s.u64(st.s1);
+    s.u64(streamPtr_);
+    s.u64(runPtr_);
+    s.u32(runLeft_);
+}
+
+void
+SyntheticGenerator::restore(ckpt::Deserializer &d)
+{
+    Rng::State st;
+    st.s0 = d.u64();
+    st.s1 = d.u64();
+    rng_.setState(st);
+    streamPtr_ = d.u64();
+    runPtr_ = d.u64();
+    runLeft_ = d.u32();
+}
+
 bool
 StreamKernelGenerator::next(TraceRequest &out)
 {

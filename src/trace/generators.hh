@@ -63,6 +63,9 @@ class SyntheticGenerator final : public AccessGenerator
 
     bool next(TraceRequest &out) override;
 
+    void save(ckpt::Serializer &s) const override;
+    void restore(ckpt::Deserializer &d) override;
+
     const SyntheticParams &params() const { return p_; }
 
   private:
@@ -91,6 +94,9 @@ class StreamKernelGenerator final : public AccessGenerator
                           std::uint64_t gap, Addr base);
 
     bool next(TraceRequest &out) override;
+
+    void save(ckpt::Serializer &s) const override { s.u64(ptr_); }
+    void restore(ckpt::Deserializer &d) override { ptr_ = d.u64(); }
 
   private:
     std::uint64_t footprint_;

@@ -1,7 +1,9 @@
 #include "trace/trace_file.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -10,8 +12,21 @@
 namespace dapsim
 {
 
+namespace
+{
+
+/** "line N: " prefix for parse diagnostics (empty when unknown). */
+std::string
+lineRef(std::size_t line_no)
+{
+    return line_no ? "line " + std::to_string(line_no) + ": " : "";
+}
+
+} // namespace
+
 bool
-TraceFileGenerator::parseLine(const std::string &line, TraceRequest &out)
+TraceFileGenerator::parseLine(const std::string &line, TraceRequest &out,
+                              std::size_t line_no)
 {
     std::size_t i = 0;
     while (i < line.size() && std::isspace(static_cast<unsigned char>(
@@ -25,12 +40,25 @@ TraceFileGenerator::parseLine(const std::string &line, TraceRequest &out)
     std::string kind;
     std::string addr;
     if (!(is >> gap >> kind >> addr))
-        fatal("trace: malformed record: " + line);
+        fatal("trace: malformed record: " + lineRef(line_no) + line);
     if (kind != "r" && kind != "w")
-        fatal("trace: access kind must be 'r' or 'w': " + line);
+        fatal("trace: access kind must be 'r' or 'w': " +
+              lineRef(line_no) + line);
     out.instrGap = gap == 0 ? 1 : gap;
     out.isWrite = kind == "w";
-    out.addr = std::strtoull(addr.c_str(), nullptr, 16);
+    // strtoull silently wraps out-of-range and negative values; a trace
+    // address that does not fit the 64-bit space is a recording bug the
+    // user needs to hear about, not an aliased access.
+    if (addr[0] == '-')
+        fatal("trace: negative address: " + lineRef(line_no) + line);
+    errno = 0;
+    char *end = nullptr;
+    out.addr = std::strtoull(addr.c_str(), &end, 16);
+    if (end == addr.c_str() || *end != '\0')
+        fatal("trace: bad hex address: " + lineRef(line_no) + line);
+    if (errno == ERANGE)
+        fatal("trace: address overflows the 64-bit address space: " +
+              lineRef(line_no) + line);
     return true;
 }
 
@@ -42,9 +70,12 @@ TraceFileGenerator::TraceFileGenerator(const std::string &path, Addr base)
         fatal("trace: cannot open " + path);
     std::string line;
     TraceRequest r;
-    while (std::getline(in, line))
-        if (parseLine(line, r))
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (parseLine(line, r, line_no))
             records_.push_back(r);
+    }
     if (records_.empty())
         fatal("trace: no records in " + path);
 }

@@ -40,12 +40,34 @@ class TraceFileGenerator final : public AccessGenerator
 
     bool next(TraceRequest &out) override;
 
+    void
+    save(ckpt::Serializer &s) const override
+    {
+        s.u64(pos_);
+        s.u64(loops_);
+    }
+
+    void
+    restore(ckpt::Deserializer &d) override
+    {
+        pos_ = d.u64();
+        loops_ = d.u64();
+        if (pos_ >= records_.size())
+            throw ckpt::CkptError("ckpt: trace cursor past end of trace");
+    }
+
     std::size_t records() const { return records_.size(); }
     std::uint64_t loops() const { return loops_; }
 
-    /** Parse one record line; returns false for comments/blank lines,
-     *  fatal() on malformed input. Exposed for tests and tools. */
-    static bool parseLine(const std::string &line, TraceRequest &out);
+    /**
+     * Parse one record line; returns false for comments/blank lines,
+     * fatal() on malformed input (naming 1-based @p line_no when
+     * nonzero). Addresses must parse fully as hex and fit a 64-bit
+     * Addr; overflowing or negative values are rejected rather than
+     * wrapped. Exposed for tests and tools.
+     */
+    static bool parseLine(const std::string &line, TraceRequest &out,
+                          std::size_t line_no = 0);
 
   private:
     std::vector<TraceRequest> records_;

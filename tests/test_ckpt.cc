@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the checkpoint subsystem: serializer framing, the
+ * dapsim.ckpt.v1 container, bit-identical save/restore across every
+ * MS$ architecture and partitioning policy, mismatch rejection, and
+ * the sweep runner's warmup-fork mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/checkpoint.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+constexpr std::uint64_t kInstr = 2'000;
+
+SystemConfig
+sectoredTiny()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.numCores = 4;
+    cfg.sectored.capacityBytes = 2 * kMiB;
+    cfg.sectored.tagCache.entries = 128;
+    cfg.warmupAccessesPerCore = 2'000;
+    return cfg;
+}
+
+SystemConfig
+alloyTiny()
+{
+    SystemConfig cfg = presets::alloySystem8();
+    cfg.numCores = 4;
+    cfg.alloy.capacityBytes = 2 * kMiB;
+    cfg.warmupAccessesPerCore = 2'000;
+    return cfg;
+}
+
+SystemConfig
+edramTiny()
+{
+    SystemConfig cfg = presets::edramSystem8(1);
+    cfg.numCores = 4;
+    cfg.warmupAccessesPerCore = 2'000;
+    return cfg;
+}
+
+SystemConfig
+noneTiny()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.arch = MsArch::None;
+    cfg.numCores = 4;
+    cfg.warmupAccessesPerCore = 1;
+    return cfg;
+}
+
+Mix
+tinyMix(const std::string &workload)
+{
+    WorkloadProfile w = workloadByName(workload);
+    w.params.footprintBytes = 256 * kKiB;
+    return rateMix(w, 4);
+}
+
+/** Every metric of @p a and @p b is bit-identical. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.mixName, b.mixName);
+    EXPECT_EQ(a.policyName, b.policyName);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.msHitRatio, b.msHitRatio);
+    EXPECT_EQ(a.msReadMissRatio, b.msReadMissRatio);
+    EXPECT_EQ(a.mmCasFraction, b.mmCasFraction);
+    EXPECT_EQ(a.tagCacheMissRatio, b.tagCacheMissRatio);
+    EXPECT_EQ(a.avgL3ReadMissLatency, b.avgL3ReadMissLatency);
+    EXPECT_EQ(a.l3Mpki, b.l3Mpki);
+    EXPECT_EQ(a.readGBps, b.readGBps);
+    EXPECT_EQ(a.fwb, b.fwb);
+    EXPECT_EQ(a.wb, b.wb);
+    EXPECT_EQ(a.ifrm, b.ifrm);
+    EXPECT_EQ(a.sfrm, b.sfrm);
+}
+
+/** Restoring a warm-up checkpoint reproduces the uninterrupted run. */
+void
+expectRestoreMatchesRun(SystemConfig cfg)
+{
+    const Mix mix = tinyMix("mcf");
+    const RunResult direct = runMix(cfg, mix, kInstr, 7);
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 7);
+    const RunResult restored =
+        ckpt::runMixFromCheckpoint(cfg, mix, kInstr, 7, ck);
+    expectIdentical(direct, restored);
+}
+
+TEST(Serializer, PrimitivesRoundTrip)
+{
+    ckpt::Serializer s;
+    s.u8(0xab);
+    s.u32(0xdeadbeefu);
+    s.u64(0x0123456789abcdefULL);
+    s.i64(-42);
+    s.f64(3.141592653589793);
+    s.boolean(true);
+    s.str("hello");
+    const std::uint8_t raw[3] = {1, 2, 3};
+    s.bytes(raw, sizeof(raw));
+
+    ckpt::Deserializer d(s.buffer());
+    EXPECT_EQ(d.u8(), 0xab);
+    EXPECT_EQ(d.u32(), 0xdeadbeefu);
+    EXPECT_EQ(d.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(d.i64(), -42);
+    EXPECT_EQ(d.f64(), 3.141592653589793);
+    EXPECT_TRUE(d.boolean());
+    EXPECT_EQ(d.str(), "hello");
+    const auto bytes = d.bytes();
+    ASSERT_EQ(bytes.size(), 3u);
+    EXPECT_EQ(bytes[2], 3u);
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serializer, SectionsFrameAndVerify)
+{
+    ckpt::Serializer s;
+    s.beginSection("outer");
+    s.u64(1);
+    s.beginSection("inner");
+    s.u32(2);
+    s.endSection();
+    s.endSection();
+
+    ckpt::Deserializer d(s.buffer());
+    d.enterSection("outer");
+    EXPECT_EQ(d.u64(), 1u);
+    d.enterSection("inner");
+    EXPECT_EQ(d.u32(), 2u);
+    d.leaveSection();
+    d.leaveSection();
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serializer, WrongSectionNameThrows)
+{
+    ckpt::Serializer s;
+    s.beginSection("cores");
+    s.u64(1);
+    s.endSection();
+    ckpt::Deserializer d(s.buffer());
+    EXPECT_THROW(d.enterSection("l3"), ckpt::CkptError);
+}
+
+TEST(Serializer, UnderconsumedSectionThrows)
+{
+    ckpt::Serializer s;
+    s.beginSection("cores");
+    s.u64(1);
+    s.u64(2);
+    s.endSection();
+    ckpt::Deserializer d(s.buffer());
+    d.enterSection("cores");
+    (void)d.u64();
+    EXPECT_THROW(d.leaveSection(), ckpt::CkptError);
+}
+
+TEST(Serializer, SkipSectionReturnsNameAndAdvances)
+{
+    ckpt::Serializer s;
+    s.beginSection("policy");
+    s.u64(99);
+    s.endSection();
+    s.u32(5);
+    ckpt::Deserializer d(s.buffer());
+    EXPECT_EQ(d.skipSection(), "policy");
+    EXPECT_EQ(d.u32(), 5u);
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serializer, TruncatedInputThrows)
+{
+    ckpt::Serializer s;
+    s.u64(1);
+    std::vector<std::uint8_t> buf = s.buffer();
+    buf.pop_back();
+    ckpt::Deserializer d(buf);
+    EXPECT_THROW((void)d.u64(), ckpt::CkptError);
+}
+
+TEST(Ckpt, EncodeDecodeRoundTripsHeaderAndPayload)
+{
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(noneTiny(), tinyMix("mcf"), kInstr,
+                                   3);
+    EXPECT_EQ(ck.header.version, ckpt::kVersion);
+    EXPECT_EQ(ck.header.tick, 0u);
+    EXPECT_EQ(ck.header.numCores, 4u);
+    EXPECT_EQ(ck.header.seedSalt, 3u);
+    EXPECT_EQ(ck.header.archId, ckpt::archIdOf(MsArch::None));
+
+    const ckpt::Checkpoint rt = ckpt::decode(ckpt::encode(ck));
+    EXPECT_EQ(rt.header.stateHash, ck.header.stateHash);
+    EXPECT_EQ(rt.header.fullHash, ck.header.fullHash);
+    EXPECT_EQ(rt.header.warmupPerCore, ck.header.warmupPerCore);
+    EXPECT_EQ(rt.header.pendingEvents, ck.header.pendingEvents);
+    EXPECT_EQ(rt.payload, ck.payload);
+}
+
+TEST(Ckpt, DecodeRejectsCorruption)
+{
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(noneTiny(), tinyMix("mcf"), kInstr,
+                                   0);
+    const std::vector<std::uint8_t> bytes = ckpt::encode(ck);
+
+    std::vector<std::uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(ckpt::decode(bad_magic), ckpt::CkptError);
+
+    std::vector<std::uint8_t> bad_version = bytes;
+    bad_version[8] = 0x63; // the version u32 follows the 8-byte magic
+    EXPECT_THROW(ckpt::decode(bad_version), ckpt::CkptError);
+
+    std::vector<std::uint8_t> truncated = bytes;
+    truncated.pop_back();
+    EXPECT_THROW(ckpt::decode(truncated), ckpt::CkptError);
+
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt.back() ^= 0x01; // flip a payload bit: CRC must catch it
+    EXPECT_THROW(ckpt::decode(corrupt), ckpt::CkptError);
+}
+
+TEST(Ckpt, FileRoundTripAndMissingFile)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "dapsim_test.ckpt")
+            .string();
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(noneTiny(), tinyMix("mcf"), kInstr,
+                                   0);
+    ckpt::writeFile(path, ck);
+    const ckpt::Checkpoint rt = ckpt::readFile(path);
+    EXPECT_EQ(rt.header.fullHash, ck.header.fullHash);
+    EXPECT_EQ(rt.payload, ck.payload);
+    std::remove(path.c_str());
+    EXPECT_THROW(ckpt::readFile(path), ckpt::CkptError);
+}
+
+TEST(Ckpt, SectoredRestoreIsBitIdentical)
+{
+    expectRestoreMatchesRun(sectoredTiny());
+}
+
+TEST(Ckpt, AlloyRestoreIsBitIdentical)
+{
+    expectRestoreMatchesRun(alloyTiny());
+}
+
+TEST(Ckpt, EdramRestoreIsBitIdentical)
+{
+    expectRestoreMatchesRun(edramTiny());
+}
+
+TEST(Ckpt, NoMsCacheRestoreIsBitIdentical)
+{
+    expectRestoreMatchesRun(noneTiny());
+}
+
+TEST(Ckpt, ForkSeedsEveryPolicyBitIdentically)
+{
+    SystemConfig cfg = sectoredTiny();
+    cfg.policy = PolicyKind::Baseline;
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 0);
+
+    for (PolicyKind p :
+         {PolicyKind::Dap, PolicyKind::Sbd, PolicyKind::SbdWt,
+          PolicyKind::Batman, PolicyKind::Bear}) {
+        SystemConfig variant = cfg;
+        variant.policy = p;
+        const RunResult direct = runMix(variant, mix, kInstr, 0);
+        const RunResult forked = ckpt::runMixFromCheckpoint(
+            variant, mix, kInstr, 0, ck, /*fork=*/true);
+        expectIdentical(direct, forked);
+    }
+}
+
+TEST(Ckpt, MismatchedConfigurationRefusesRestore)
+{
+    const SystemConfig cfg = sectoredTiny();
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 0);
+
+    SystemConfig bigger = cfg;
+    bigger.sectored.capacityBytes = 4 * kMiB;
+    EXPECT_THROW(
+        ckpt::runMixFromCheckpoint(bigger, mix, kInstr, 0, ck),
+        ckpt::CkptError);
+
+    // Different seed salt changes the streams: also refused.
+    EXPECT_THROW(ckpt::runMixFromCheckpoint(cfg, mix, kInstr, 1, ck),
+                 ckpt::CkptError);
+
+    // Different workload: refused.
+    EXPECT_THROW(ckpt::runMixFromCheckpoint(cfg, tinyMix("bwaves"),
+                                            kInstr, 0, ck),
+                 ckpt::CkptError);
+}
+
+TEST(Ckpt, MismatchedPolicyRequiresFork)
+{
+    SystemConfig cfg = sectoredTiny();
+    cfg.policy = PolicyKind::Baseline;
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 0);
+
+    SystemConfig variant = cfg;
+    variant.policy = PolicyKind::Dap;
+    EXPECT_THROW(
+        ckpt::runMixFromCheckpoint(variant, mix, kInstr, 0, ck),
+        ckpt::CkptError);
+    EXPECT_NO_THROW(ckpt::runMixFromCheckpoint(variant, mix, kInstr, 0,
+                                               ck, /*fork=*/true));
+}
+
+TEST(Ckpt, CaptureRequiresQuiescentPoint)
+{
+    SystemConfig cfg = noneTiny();
+    cfg.core.instructions = kInstr;
+    const Mix mix = tinyMix("mcf");
+    std::vector<AccessGeneratorPtr> gens;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(mix.apps[i], i, 0));
+    System sys(cfg, std::move(gens));
+    sys.warmup(1);
+    sys.run();
+    ckpt::Serializer s;
+    EXPECT_THROW(sys.save(s), ckpt::CkptError);
+}
+
+/** Queue a one-workload, five-policy grid on @p runner. */
+void
+addPolicyGrid(exp::SweepRunner &runner)
+{
+    runner.addGrid(sectoredTiny(), {tinyMix("mcf")},
+                   {PolicyKind::Baseline, PolicyKind::Dap,
+                    PolicyKind::Sbd, PolicyKind::Batman,
+                    PolicyKind::Bear},
+                   kInstr);
+}
+
+TEST(SweepWarmupFork, ForkedSweepIsBitIdenticalToUnforked)
+{
+    exp::SweepRunner plain;
+    addPolicyGrid(plain);
+    const auto base = plain.run(1);
+
+    exp::SweepRunner forked;
+    addPolicyGrid(forked);
+    forked.setWarmupFork(true);
+    const auto fork = forked.run(4);
+
+    // One shared warm-up for the whole 5-policy group.
+    EXPECT_EQ(forked.warmupsExecuted(), 1u);
+    ASSERT_EQ(base.size(), fork.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        ASSERT_TRUE(base[i].ok) << base[i].error;
+        ASSERT_TRUE(fork[i].ok) << fork[i].error;
+        expectIdentical(base[i].result, fork[i].result);
+    }
+}
+
+TEST(SweepWarmupFork, OneWarmupPerDistinctGroup)
+{
+    exp::SweepRunner runner;
+    runner.addGrid(sectoredTiny(),
+                   {tinyMix("mcf"), tinyMix("bwaves")},
+                   {PolicyKind::Baseline, PolicyKind::Dap}, kInstr);
+    runner.setWarmupFork(true);
+    const auto results = runner.run(4);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(runner.warmupsExecuted(), 2u);
+}
+
+TEST(SweepWarmupFork, CkptDirIsReusedAcrossSweeps)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "dapsim_ckpt_dir")
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    exp::SweepRunner first;
+    addPolicyGrid(first);
+    first.setWarmupFork(true, dir);
+    const auto a = first.run(2);
+    EXPECT_EQ(first.warmupsExecuted(), 1u);
+
+    exp::SweepRunner second;
+    addPolicyGrid(second);
+    second.setWarmupFork(true, dir);
+    const auto b = second.run(2);
+    EXPECT_EQ(second.warmupsExecuted(), 0u); // loaded from disk
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].ok) << a[i].error;
+        ASSERT_TRUE(b[i].ok) << b[i].error;
+        expectIdentical(a[i].result, b[i].result);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace dapsim

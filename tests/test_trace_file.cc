@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "trace/trace_file.hh"
 
@@ -61,6 +62,47 @@ TEST(TraceFileDeathTest, MalformedRecordsAreFatal)
                  "malformed");
     EXPECT_DEATH((void)TraceFileGenerator::parseLine("5 x 0x40", r),
                  "kind");
+}
+
+TEST(TraceFileDeathTest, ErrorsNameTheOffendingLine)
+{
+    TraceRequest r;
+    EXPECT_DEATH(
+        (void)TraceFileGenerator::parseLine("nonsense", r, 7),
+        "malformed record: line 7:");
+    EXPECT_DEATH(
+        (void)TraceFileGenerator::parseLine("5 x 0x40", r, 12),
+        "kind must be 'r' or 'w': line 12:");
+}
+
+TEST(TraceFileDeathTest, FileErrorsNameTheOffendingLine)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "dapsim_badline.trace")
+            .string();
+    {
+        std::ofstream out(path);
+        out << "# header comment\n"
+            << "1 r 0x40\n"
+            << "garbage\n";
+    }
+    EXPECT_DEATH(TraceFileGenerator{path}, "malformed record: line 3:");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, BadAddressesAreFatal)
+{
+    TraceRequest r;
+    // 17 hex digits: past the 64-bit address space.
+    EXPECT_DEATH(
+        (void)TraceFileGenerator::parseLine(
+            "5 r 0x1ffffffffffffffff", r, 4),
+        "overflows the 64-bit address space: line 4:");
+    EXPECT_DEATH((void)TraceFileGenerator::parseLine("5 r -40", r),
+                 "negative");
+    EXPECT_DEATH((void)TraceFileGenerator::parseLine("5 r zz", r),
+                 "bad hex");
 }
 
 TEST(TraceFile, ReplaysInOrderAndLoops)

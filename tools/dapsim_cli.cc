@@ -11,6 +11,8 @@
  *   dapsim --arch alloy --policy bear --instr 200000 --stats
  *   dapsim --trace mem.trace --cores 4 --policy dap
  *   dapsim --arch edram --capacity-mb 8 --workload hpcg
+ *   dapsim --workload mcf --save-ckpt warm.ckpt
+ *   dapsim --workload mcf --policy dap --restore-ckpt warm.ckpt
  */
 
 #include <cstdio>
@@ -18,8 +20,10 @@
 #include <iostream>
 #include <string>
 
+#include "ckpt/checkpoint.hh"
 #include "sim/presets.hh"
 #include "sim/runner.hh"
+#include "trace/mixes.hh"
 #include "trace/trace_file.hh"
 
 using namespace dapsim;
@@ -39,6 +43,8 @@ struct Options
     Cycle window = 64;
     double efficiency = 0.75;
     std::uint64_t seed = 0;
+    std::string saveCkpt;
+    std::string restoreCkpt;
     bool stats = false;
 };
 
@@ -58,6 +64,9 @@ usage()
         "  --window W           DAP window in CPU cycles (default 64)\n"
         "  --efficiency E       DAP bandwidth efficiency (default 0.75)\n"
         "  --seed N             workload seed salt\n"
+        "  --save-ckpt FILE     snapshot the post-warmup state to FILE\n"
+        "  --restore-ckpt FILE  skip warm-up; restore the state from "
+        "FILE\n"
         "  --stats              dump full statistics\n"
         "  --list               list workload profiles\n");
     std::exit(1);
@@ -144,6 +153,10 @@ main(int argc, char **argv)
             opt.efficiency = std::stod(value());
         else if (a == "--seed")
             opt.seed = std::stoull(value());
+        else if (a == "--save-ckpt")
+            opt.saveCkpt = value();
+        else if (a == "--restore-ckpt")
+            opt.restoreCkpt = value();
         else if (a == "--stats")
             opt.stats = true;
         else if (a == "--list") {
@@ -158,32 +171,87 @@ main(int argc, char **argv)
         }
     }
 
+    if (!opt.saveCkpt.empty() && !opt.restoreCkpt.empty())
+        fatal("--save-ckpt and --restore-ckpt are mutually exclusive");
+
     const SystemConfig cfg = buildConfig(opt);
 
     std::vector<AccessGeneratorPtr> gens;
     std::string mix_name;
+    std::string stream_desc;
     if (!opt.trace.empty()) {
         mix_name = opt.trace;
+        stream_desc = "trace:" + opt.trace;
         for (std::uint32_t i = 0; i < cfg.numCores; ++i)
             gens.push_back(std::make_unique<TraceFileGenerator>(
                 opt.trace, static_cast<Addr>(i) << 40));
     } else {
         const WorkloadProfile &w = workloadByName(opt.workload);
-        mix_name = w.name + "-rate" + std::to_string(cfg.numCores);
+        const Mix mix = rateMix(w, cfg.numCores);
+        mix_name = mix.name;
+        stream_desc = ckpt::describeMix(mix);
         for (std::uint32_t i = 0; i < cfg.numCores; ++i)
             gens.push_back(makeGenerator(w, i, opt.seed));
     }
 
+    // Both hashes come from the PRE-construction configuration (the
+    // System constructor derives fields in its own copy).
+    const std::uint64_t warm = ckpt::resolveWarmCount(cfg);
+    const std::uint64_t state_hash =
+        ckpt::stateHash(cfg, stream_desc, opt.seed, warm);
+    const std::uint64_t full_hash = ckpt::fullHash(state_hash, cfg);
+
     System sys(cfg, std::move(gens));
-    std::uint64_t warm = cfg.warmupAccessesPerCore;
-    if (warm == 0)
-        warm = 2 * (cfg.msCapacityBytes() / kBlockBytes) / cfg.numCores;
-    sys.warmup(warm);
+    try {
+        if (!opt.restoreCkpt.empty()) {
+            const ckpt::Checkpoint c = ckpt::readFile(opt.restoreCkpt);
+            if (c.header.stateHash != state_hash)
+                throw ckpt::CkptError(
+                    "ckpt: configuration/stream mismatch (the "
+                    "checkpoint was taken under a different system "
+                    "configuration, workload, seed or warm-up "
+                    "length)");
+            if (c.header.fullHash != full_hash)
+                throw ckpt::CkptError(
+                    "ckpt: policy mismatch (the checkpoint was taken "
+                    "under a different partitioning policy)");
+            ckpt::Deserializer d(c.payload);
+            sys.restore(d);
+            if (!d.atEnd())
+                throw ckpt::CkptError(
+                    "ckpt: trailing bytes after the last section");
+            std::printf("restored %s (%llu warm-up accesses/core)\n",
+                        opt.restoreCkpt.c_str(),
+                        static_cast<unsigned long long>(
+                            c.header.warmupPerCore));
+        } else {
+            sys.warmup(warm);
+            if (!opt.saveCkpt.empty()) {
+                ckpt::CheckpointHeader h;
+                h.stateHash = state_hash;
+                h.fullHash = full_hash;
+                h.seedSalt = opt.seed;
+                h.warmupPerCore = warm;
+                h.instr = opt.instr;
+                h.numCores = cfg.numCores;
+                h.archId = ckpt::archIdOf(cfg.arch);
+                ckpt::writeFile(opt.saveCkpt, ckpt::capture(sys, h));
+                std::printf("saved %s (%llu warm-up accesses/core)\n",
+                            opt.saveCkpt.c_str(),
+                            static_cast<unsigned long long>(warm));
+            }
+        }
+    } catch (const ckpt::CkptError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
     sys.run();
 
     const RunResult r = harvest(sys, mix_name);
-    std::printf("mix %s  arch %s  policy %s\n", mix_name.c_str(),
-                opt.arch.c_str(), r.policyName.c_str());
+    std::printf("mix %s  arch %s  policy %s  seed %llu\n",
+                mix_name.c_str(), opt.arch.c_str(),
+                r.policyName.c_str(),
+                static_cast<unsigned long long>(opt.seed));
     std::printf("throughput %.3f IPC  cycles %llu\n", r.throughput(),
                 static_cast<unsigned long long>(r.cycles));
     std::printf("MS$ hit ratio %.3f  MM CAS fraction %.3f  "

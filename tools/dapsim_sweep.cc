@@ -45,6 +45,8 @@ struct Options
     std::size_t jobs = 1;
     std::string jsonPath;
     bool quiet = false;
+    bool warmupFork = false;
+    std::string ckptDir;
 };
 
 [[noreturn]] void
@@ -69,6 +71,13 @@ usage()
         "  --jobs N             worker threads (default 1)\n"
         "  --json FILE          also write JSON-lines results to "
         "FILE\n"
+        "  --warmup-fork        share one warm-up per (arch, workload,"
+        " seed)\n"
+        "                       group via checkpoints (bit-identical "
+        "results)\n"
+        "  --ckpt-dir DIR       keep/reuse warm-up checkpoints in DIR "
+        "(implies\n"
+        "                       --warmup-fork)\n"
         "  --quiet              suppress the console table\n"
         "  --list               list workload profiles\n");
     std::exit(1);
@@ -205,6 +214,10 @@ main(int argc, char **argv)
             opt.jobs = parseNumber(a, value());
         else if (a == "--json")
             opt.jsonPath = value();
+        else if (a == "--warmup-fork")
+            opt.warmupFork = true;
+        else if (a == "--ckpt-dir")
+            opt.ckptDir = value();
         else if (a == "--quiet")
             opt.quiet = true;
         else if (a == "--list") {
@@ -272,6 +285,10 @@ main(int argc, char **argv)
         runner.addSink(&json_sink);
     }
 
+    const bool fork = opt.warmupFork || !opt.ckptDir.empty();
+    if (fork)
+        runner.setWarmupFork(true, opt.ckptDir);
+
     runner.setProgress(true);
     const auto results = runner.run(opt.jobs);
 
@@ -280,5 +297,10 @@ main(int argc, char **argv)
         failed += r.ok ? 0 : 1;
     std::fprintf(stderr, "sweep complete: %zu jobs, %zu failed\n",
                  results.size(), failed);
+    if (fork)
+        std::fprintf(stderr,
+                     "warmup-fork: %llu shared warm-ups executed\n",
+                     static_cast<unsigned long long>(
+                         runner.warmupsExecuted()));
     return failed == results.size() ? 1 : 0;
 }
