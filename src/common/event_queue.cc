@@ -26,6 +26,8 @@ EventQueue::step()
     heap_.pop();
     ++executed_;
     cb();
+    if (hook_)
+        hook_->onDispatch(now_, heap_.size());
     return true;
 }
 

@@ -26,6 +26,22 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * Observability hook invoked after every dispatched event (see
+     * src/obs/). The hook must only observe — it runs between events,
+     * so mutating simulator state from it would break determinism
+     * guarantees documented elsewhere. Null (the default) costs one
+     * predictable branch per event.
+     */
+    struct DispatchHook
+    {
+        virtual ~DispatchHook() = default;
+
+        /** @param now tick of the event just executed
+         *  @param pending events still queued after it ran */
+        virtual void onDispatch(Tick now, std::size_t pending) = 0;
+    };
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -59,6 +75,9 @@ class EventQueue
     /** Run until @p done returns true, the queue drains, or @p limit. */
     void runUntil(const std::function<bool()> &done, Tick limit = ~Tick(0));
 
+    /** Attach (or clear, with nullptr) the dispatch observability hook. */
+    void setDispatchHook(DispatchHook *hook) { hook_ = hook; }
+
   private:
     struct Entry
     {
@@ -82,6 +101,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    DispatchHook *hook_ = nullptr;
 };
 
 } // namespace dapsim

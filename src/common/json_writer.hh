@@ -8,14 +8,14 @@
  * round-trip doubles (%.17g).
  */
 
-#ifndef DAPSIM_EXP_JSON_WRITER_HH
-#define DAPSIM_EXP_JSON_WRITER_HH
+#ifndef DAPSIM_COMMON_JSON_WRITER_HH
+#define DAPSIM_COMMON_JSON_WRITER_HH
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
 
-namespace dapsim::exp
+namespace dapsim::json
 {
 
 /** Escape @p s for inclusion in a JSON string literal. */
@@ -173,6 +173,6 @@ class JsonWriter
     bool pendingValue_ = false;
 };
 
-} // namespace dapsim::exp
+} // namespace dapsim::json
 
-#endif // DAPSIM_EXP_JSON_WRITER_HH
+#endif // DAPSIM_COMMON_JSON_WRITER_HH

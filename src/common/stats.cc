@@ -38,4 +38,22 @@ StatGroup::averageValue(const std::string &n) const
     return it == averages_.end() ? 0.0 : it->second->mean();
 }
 
+void
+StatGroup::appendColumnNames(std::vector<std::string> &out) const
+{
+    for (const auto &[n, c] : counters_)
+        out.push_back(name_ + '.' + n);
+    for (const auto &[n, a] : averages_)
+        out.push_back(name_ + '.' + n);
+}
+
+void
+StatGroup::appendValues(std::vector<double> &out) const
+{
+    for (const auto &kv : counters_)
+        out.push_back(static_cast<double>(kv.second->value()));
+    for (const auto &kv : averages_)
+        out.push_back(kv.second->mean());
+}
+
 } // namespace dapsim

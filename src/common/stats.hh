@@ -126,6 +126,14 @@ class StatGroup
     /** Look up a registered average mean by name (0 if absent). */
     double averageValue(const std::string &n) const;
 
+    /**
+     * Columnar access for the time-series sampler (see src/obs/):
+     * qualified `group.name` column labels and the matching values, in
+     * a stable (alphabetical, counters before averages) order.
+     */
+    void appendColumnNames(std::vector<std::string> &out) const;
+    void appendValues(std::vector<double> &out) const;
+
   private:
     std::string name_;
     std::map<std::string, const Counter *> counters_;

@@ -99,6 +99,24 @@ DapPolicy::beginWindow(const WindowCounters &prev)
     load(ifrmCredits_, cfg_.enableIfrm ? targets_.nIfrm : 0);
     load(sfrmCredits_, cfg_.enableSfrm ? targets_.nSfrm : 0);
     load(wtCredits_, targets_.nWriteThrough);
+
+    if (trace_) {
+        DapWindowRecord rec;
+        rec.window = windowsTotal.value();
+        rec.in = prev;
+        rec.targets = targets_;
+        rec.fwbCredits = fwbCredits_;
+        rec.wbCredits = wbCredits_;
+        rec.ifrmCredits = ifrmCredits_;
+        rec.sfrmCredits = sfrmCredits_;
+        rec.wtCredits = wtCredits_;
+        rec.fwbApplied = fwbApplied.value();
+        rec.wbApplied = wbApplied.value();
+        rec.ifrmApplied = ifrmApplied.value();
+        rec.sfrmApplied = sfrmApplied.value();
+        rec.wtApplied = writeThroughApplied.value();
+        trace_->onWindow(rec);
+    }
 }
 
 bool

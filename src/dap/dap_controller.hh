@@ -89,6 +89,39 @@ struct DapConfig
     FixedRatio ratioK() const;
 };
 
+/**
+ * One per-window DAP decision record (see src/obs/ DapTrace).
+ *
+ * Emitted at the start of window `window` (1-based): `in` is the
+ * demand measured over window-1 that fed the solver, `targets` the
+ * solver's grants for this window, the credits are the counter values
+ * after loading those grants, and the applied counts are cumulative —
+ * the consumer diffs successive records for per-window uses.
+ */
+struct DapWindowRecord
+{
+    std::uint64_t window = 0;
+    WindowCounters in;
+    dap::Targets targets;
+    std::int64_t fwbCredits = 0;
+    std::int64_t wbCredits = 0;
+    std::int64_t ifrmCredits = 0;
+    std::int64_t sfrmCredits = 0;
+    std::int64_t wtCredits = 0;
+    std::uint64_t fwbApplied = 0;
+    std::uint64_t wbApplied = 0;
+    std::uint64_t ifrmApplied = 0;
+    std::uint64_t sfrmApplied = 0;
+    std::uint64_t wtApplied = 0;
+};
+
+/** Consumer of per-window DAP decision records. */
+struct DapTraceSink
+{
+    virtual ~DapTraceSink() = default;
+    virtual void onWindow(const DapWindowRecord &rec) = 0;
+};
+
 /** DAP as a pluggable partitioning policy. */
 class DapPolicy final : public PartitionPolicy
 {
@@ -112,6 +145,11 @@ class DapPolicy final : public PartitionPolicy
     std::int64_t wbCredits() const { return wbCredits_; }
     std::int64_t ifrmCredits() const { return ifrmCredits_; }
     std::int64_t sfrmCredits() const { return sfrmCredits_; }
+    std::int64_t wtCredits() const { return wtCredits_; }
+
+    /** Attach (or clear) the per-window decision tracer. Costs one
+     *  branch per window when null. */
+    void setTraceSink(DapTraceSink *sink) { trace_ = sink; }
 
     void save(ckpt::Serializer &s) const override;
     void restore(ckpt::Deserializer &d) override;
@@ -147,6 +185,7 @@ class DapPolicy final : public PartitionPolicy
     DapConfig cfg_;
     FixedRatio k_;
     dap::Targets targets_;
+    DapTraceSink *trace_ = nullptr;
 
     std::int64_t fwbCredits_ = 0;
     std::int64_t wbCredits_ = 0;

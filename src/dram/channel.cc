@@ -151,6 +151,10 @@ Channel::issue(std::deque<ChannelRequest> &q, std::size_t idx)
     else
         rowMisses.inc();
 
+    if (busTrace_)
+        busTrace_->onBusSpan(traceSource_, index_, dataStart, dataEnd,
+                             req.isWrite, acc.rowHit);
+
     const Tick ioDelay = cfg_.ioDelayCycles * period;
     if (req.isWrite) {
         casWrites.inc();

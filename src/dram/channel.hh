@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "ckpt/serializer.hh"
@@ -44,6 +45,28 @@ struct ChannelRequest
     Tick enqueuedAt = 0;
 };
 
+/**
+ * Observability hook receiving one span per data-bus occupancy (see
+ * src/obs/ ChromeTraceWriter). Null hooks cost one branch per CAS.
+ */
+struct BusTraceHook
+{
+    virtual ~BusTraceHook() = default;
+
+    /**
+     * @param source  stable name of the DRAM subsystem ("mainMemory",
+     *                "msArray", ...)
+     * @param channel channel index within the subsystem
+     * @param start   tick the data bus becomes busy
+     * @param end     tick the occupancy (burst + turnaround) ends
+     * @param isWrite write vs read CAS
+     * @param rowHit  row-buffer hit vs miss
+     */
+    virtual void onBusSpan(const std::string &source,
+                           std::uint32_t channel, Tick start, Tick end,
+                           bool isWrite, bool rowHit) = 0;
+};
+
 /** One channel with its banks, queues and scheduler. */
 class Channel
 {
@@ -52,6 +75,15 @@ class Channel
 
     /** Enqueue an access; queues are unbounded (MLP is core-bounded). */
     void enqueue(ChannelRequest req);
+
+    /** Attach the bus observability hook; @p source names this DRAM
+     *  subsystem in emitted spans. Null detaches. */
+    void
+    setBusTrace(BusTraceHook *hook, std::string source)
+    {
+        busTrace_ = hook;
+        traceSource_ = std::move(source);
+    }
 
     std::size_t readQueueLen() const { return readQ_.size(); }
     std::size_t writeQueueLen() const { return writeQ_.size(); }
@@ -124,6 +156,9 @@ class Channel
     bool kickPending_ = false;
     Tick nextKickAt_ = 0;
     Tick busBusy_ = 0;
+
+    BusTraceHook *busTrace_ = nullptr;
+    std::string traceSource_;
 };
 
 } // namespace dapsim

@@ -137,6 +137,13 @@ DramSystem::busUtilization(Tick elapsed) const
 }
 
 void
+DramSystem::setBusTrace(BusTraceHook *hook, const std::string &source)
+{
+    for (auto &c : channels_)
+        c->setBusTrace(hook, source);
+}
+
+void
 DramSystem::save(ckpt::Serializer &s) const
 {
     s.u64(channels_.size());

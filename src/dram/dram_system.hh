@@ -67,6 +67,10 @@ class DramSystem
     Channel &channel(std::uint32_t i) { return *channels_[i]; }
     std::uint32_t numChannels() const { return cfg_.channels; }
 
+    /** Attach a bus observability hook to every channel; @p source
+     *  names this subsystem in emitted spans. Null detaches. */
+    void setBusTrace(BusTraceHook *hook, const std::string &source);
+
     /** Checkpoint every channel's state (see src/ckpt/). */
     void save(ckpt::Serializer &s) const;
     void restore(ckpt::Deserializer &d);

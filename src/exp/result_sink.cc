@@ -1,6 +1,6 @@
 #include "exp/result_sink.hh"
 
-#include "exp/json_writer.hh"
+#include "common/json_writer.hh"
 
 namespace dapsim::exp
 {
@@ -42,7 +42,7 @@ ConsoleTableSink::end()
 std::string
 jobResultToJson(const JobResult &r)
 {
-    JsonWriter w;
+    json::JsonWriter w;
     w.beginObject();
     w.key("schema").value("dapsim.sweep.v1");
     w.key("job").value(static_cast<std::uint64_t>(r.index));

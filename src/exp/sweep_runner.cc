@@ -1,8 +1,10 @@
 #include "exp/sweep_runner.hh"
 
 #include <cinttypes>
+#include <fstream>
 
 #include "exp/thread_pool.hh"
+#include "obs/chrome_trace.hh"
 
 namespace dapsim::exp
 {
@@ -119,14 +121,77 @@ SweepRunner::prepareGroup(ForkGroup &group, std::size_t i)
     }
 }
 
+std::size_t
+SweepRunner::workerOrdinal()
+{
+    std::lock_guard lock(phaseMutex_);
+    const auto id = std::this_thread::get_id();
+    auto it = workerIds_.find(id);
+    if (it != workerIds_.end())
+        return it->second;
+    const std::size_t ordinal = workerIds_.size();
+    workerIds_.emplace(id, ordinal);
+    return ordinal;
+}
+
+double
+SweepRunner::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+SweepRunner::recordSpan(const std::string &name, const std::string &cat,
+                        double start_us, double end_us)
+{
+    if (phaseTracePath_.empty())
+        return;
+    const std::size_t worker = workerOrdinal();
+    std::lock_guard lock(phaseMutex_);
+    phaseSpans_.push_back({name, cat, start_us, end_us, worker});
+}
+
+void
+SweepRunner::writePhaseTrace()
+{
+    if (phaseTracePath_.empty())
+        return;
+    std::ofstream os(phaseTracePath_);
+    if (!os) {
+        std::fprintf(stderr, "sweep: cannot open %s for writing\n",
+                     phaseTracePath_.c_str());
+        return;
+    }
+    obs::ChromeTraceWriter trace(os, 0);
+    for (const PhaseSpan &s : phaseSpans_)
+        trace.span("worker " + std::to_string(s.worker), s.name, s.cat,
+                   s.startUs, s.endUs - s.startUs);
+    trace.finish();
+}
+
 JobResult
 SweepRunner::execute(std::size_t i)
 {
     ForkGroup *g = jobGroup_[i];
-    if (g == nullptr)
-        return runJob(specs_[i], i);
-    std::call_once(g->once, [this, g, i] { prepareGroup(*g, i); });
-    return runJob(specs_[i], i, g->ckpt.get());
+    const double start = phaseTracePath_.empty() ? 0.0 : nowUs();
+    JobResult r;
+    if (g == nullptr) {
+        r = runJob(specs_[i], i);
+    } else {
+        std::call_once(g->once, [this, g, i] {
+            const double wstart =
+                phaseTracePath_.empty() ? 0.0 : nowUs();
+            prepareGroup(*g, i);
+            recordSpan("warmup " + hashHex(g->stateHash), "warmup",
+                       wstart, nowUs());
+        });
+        r = runJob(specs_[i], i, g->ckpt.get());
+    }
+    recordSpan(specs_[i].displayLabel(), r.ok ? "job" : "failed",
+               start, nowUs());
+    return r;
 }
 
 void
@@ -149,6 +214,9 @@ SweepRunner::run(std::size_t threads)
     nextToDeliver_ = 0;
     completed_ = 0;
     warmupsExecuted_ = 0;
+    epoch_ = std::chrono::steady_clock::now();
+    phaseSpans_.clear();
+    workerIds_.clear();
     buildForkGroups();
 
     for (ResultSink *sink : sinks_)
@@ -182,6 +250,7 @@ SweepRunner::run(std::size_t threads)
 
     for (ResultSink *sink : sinks_)
         sink->end();
+    writePhaseTrace();
 
     return std::move(results_);
 }

@@ -18,11 +18,13 @@
 #define DAPSIM_EXP_SWEEP_RUNNER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/job.hh"
@@ -78,6 +80,15 @@ class SweepRunner
      *  last run() — for tests and telemetry. */
     std::uint64_t warmupsExecuted() const { return warmupsExecuted_; }
 
+    /**
+     * Write a Chrome trace_event file of wall-clock job execution
+     * after run(): one track per worker thread, one span per job
+     * (category "job" or "failed"), plus shared warm-up spans. Spans
+     * are collected during the run and written single-threaded at the
+     * end, so the trace never perturbs job scheduling.
+     */
+    void setPhaseTrace(std::string path) { phaseTracePath_ = std::move(path); }
+
     std::size_t jobCount() const { return specs_.size(); }
 
     /**
@@ -112,6 +123,28 @@ class SweepRunner
     /** Run job @p i, forking from its group's checkpoint if any. */
     JobResult execute(std::size_t i);
 
+    /** One wall-clock span for the phase trace. */
+    struct PhaseSpan
+    {
+        std::string name;
+        std::string cat;
+        double startUs = 0;
+        double endUs = 0;
+        std::size_t worker = 0;
+    };
+
+    /** Ordinal of the calling worker thread (assigned on first use). */
+    std::size_t workerOrdinal();
+
+    /** Record one span (thread-safe; no-op without a phase trace). */
+    void recordSpan(const std::string &name, const std::string &cat,
+                    double start_us, double end_us);
+
+    /** Microseconds since run() started. */
+    double nowUs() const;
+
+    void writePhaseTrace();
+
     std::vector<JobSpec> specs_;
     std::vector<ResultSink *> sinks_;
     bool progress_ = false;
@@ -128,6 +161,13 @@ class SweepRunner
     std::vector<bool> done_;
     std::size_t nextToDeliver_ = 0;
     std::size_t completed_ = 0;
+
+    // Phase-trace state
+    std::string phaseTracePath_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::mutex phaseMutex_;
+    std::vector<PhaseSpan> phaseSpans_;
+    std::map<std::thread::id, std::size_t> workerIds_;
 };
 
 } // namespace dapsim::exp

@@ -1,0 +1,129 @@
+#include "obs/chrome_trace.hh"
+
+#include "common/json_writer.hh"
+
+namespace dapsim::obs
+{
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os,
+                                     Tick eq_counter_every_ticks)
+    : os_(os), eqCounterEvery_(eq_counter_every_ticks)
+{
+    os_ << "{\"traceEvents\":[";
+}
+
+double
+ChromeTraceWriter::ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6; // ps -> us
+}
+
+void
+ChromeTraceWriter::emit(const std::string &body)
+{
+    if (finished_)
+        return;
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+    os_ << body;
+}
+
+std::uint32_t
+ChromeTraceWriter::trackTid(const std::string &track)
+{
+    auto it = tids_.find(track);
+    if (it != tids_.end())
+        return it->second;
+    const auto tid = static_cast<std::uint32_t>(tids_.size() + 1);
+    tids_.emplace(track, tid);
+
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("ph").value("M");
+    w.key("name").value("thread_name");
+    w.key("pid").value(std::uint32_t{0});
+    w.key("tid").value(tid);
+    w.key("args").beginObject();
+    w.key("name").value(track);
+    w.endObject();
+    w.endObject();
+    emit(w.str());
+    return tid;
+}
+
+void
+ChromeTraceWriter::span(const std::string &track, const std::string &name,
+                        const std::string &cat, double ts_us,
+                        double dur_us)
+{
+    const std::uint32_t tid = trackTid(track);
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("ph").value("X");
+    w.key("pid").value(std::uint32_t{0});
+    w.key("tid").value(tid);
+    w.key("name").value(name);
+    w.key("cat").value(cat);
+    w.key("ts").value(ts_us);
+    w.key("dur").value(dur_us);
+    w.endObject();
+    emit(w.str());
+    ++events_;
+}
+
+void
+ChromeTraceWriter::counter(const std::string &series, double ts_us,
+                           double value)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("ph").value("C");
+    w.key("pid").value(std::uint32_t{0});
+    w.key("tid").value(std::uint32_t{0});
+    w.key("name").value(series);
+    w.key("ts").value(ts_us);
+    w.key("args").beginObject();
+    w.key("value").value(value);
+    w.endObject();
+    w.endObject();
+    emit(w.str());
+    ++events_;
+}
+
+void
+ChromeTraceWriter::onDispatch(Tick now, std::size_t pending)
+{
+    ++eqDispatched_;
+    if (eqCounterEvery_ == 0 || now < eqNextCounterAt_)
+        return;
+    eqNextCounterAt_ = now + eqCounterEvery_;
+    counter("eventQueue.pending", ticksToUs(now),
+            static_cast<double>(pending));
+    counter("eventQueue.dispatchRate", ticksToUs(now),
+            static_cast<double>(eqDispatched_ - eqDispatchedAtLast_));
+    eqDispatchedAtLast_ = eqDispatched_;
+}
+
+void
+ChromeTraceWriter::onBusSpan(const std::string &source,
+                             std::uint32_t channel, Tick start, Tick end,
+                             bool isWrite, bool rowHit)
+{
+    const std::string track =
+        source + ".ch" + std::to_string(channel);
+    span(track, isWrite ? "cas-write" : "cas-read",
+         rowHit ? "row-hit" : "row-miss", ticksToUs(start),
+         ticksToUs(end - start));
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    os_ << "],\"displayTimeUnit\":\"ms\"}\n";
+    finished_ = true;
+}
+
+} // namespace dapsim::obs

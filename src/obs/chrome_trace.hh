@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Chrome trace_event JSON emitter.
+ *
+ * Streams a `{"traceEvents":[...]}` document loadable in
+ * chrome://tracing or Perfetto. Three producers feed it:
+ *  - DRAM channel data-bus occupancy (one complete span per CAS, on a
+ *    track per channel) via the Channel BusTraceHook,
+ *  - event-queue dispatch activity (down-sampled counter events of
+ *    pending/dispatched) via the EventQueue DispatchHook,
+ *  - arbitrary spans/counters from callers (SweepRunner job phases).
+ *
+ * Simulated time (picosecond ticks) maps to trace microseconds, so a
+ * span of one CPU cycle is 250 ps = 0.00025 us. finish() closes the
+ * JSON document and must be called before the stream is read.
+ */
+
+#ifndef DAPSIM_OBS_CHROME_TRACE_HH
+#define DAPSIM_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "dram/channel.hh"
+
+namespace dapsim::obs
+{
+
+/** Streaming trace_event writer; one instance per output file. */
+class ChromeTraceWriter final : public EventQueue::DispatchHook,
+                                public BusTraceHook
+{
+  public:
+    /**
+     * @param os output stream owned by the caller
+     * @param eq_counter_every_ticks down-sampling interval of the
+     *        event-queue counter track (0 disables the track)
+     */
+    explicit ChromeTraceWriter(std::ostream &os,
+                               Tick eq_counter_every_ticks =
+                                   kDefaultEqCounterTicks);
+
+    /** 1000 CPU cycles between event-queue counter samples. */
+    static constexpr Tick kDefaultEqCounterTicks = 1000 * kCpuPeriodPs;
+
+    /** Emit a complete span ("ph":"X") on @p track. Times in us. */
+    void span(const std::string &track, const std::string &name,
+              const std::string &cat, double ts_us, double dur_us);
+
+    /** Emit a counter sample ("ph":"C") named @p series. */
+    void counter(const std::string &series, double ts_us, double value);
+
+    /** Close the JSON document (idempotent). */
+    void finish();
+
+    /** Events emitted so far (excluding metadata). */
+    std::uint64_t events() const { return events_; }
+
+    // EventQueue::DispatchHook
+    void onDispatch(Tick now, std::size_t pending) override;
+
+    // BusTraceHook
+    void onBusSpan(const std::string &source, std::uint32_t channel,
+                   Tick start, Tick end, bool isWrite,
+                   bool rowHit) override;
+
+  private:
+    /** tid of @p track, assigning one (and emitting its thread_name
+     *  metadata record) on first use. */
+    std::uint32_t trackTid(const std::string &track);
+
+    /** Write one raw event object (handles commas). */
+    void emit(const std::string &body);
+
+    static double ticksToUs(Tick t);
+
+    std::ostream &os_;
+    Tick eqCounterEvery_;
+    Tick eqNextCounterAt_ = 0;
+    std::uint64_t eqDispatchedAtLast_ = 0;
+    std::uint64_t eqDispatched_ = 0;
+
+    std::map<std::string, std::uint32_t> tids_;
+    std::uint64_t events_ = 0;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+} // namespace dapsim::obs
+
+#endif // DAPSIM_OBS_CHROME_TRACE_HH

@@ -1,0 +1,75 @@
+#include "obs/dap_trace.hh"
+
+#include "common/json_writer.hh"
+
+namespace dapsim::obs
+{
+
+DapTrace::DapTrace(const EventQueue &eq, std::ostream &os)
+    : eq_(eq), os_(os)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(kSchema);
+    w.endObject();
+    os_ << w.str() << '\n';
+}
+
+void
+DapTrace::onWindow(const DapWindowRecord &rec)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("window").value(rec.window);
+    w.key("tick").value(eq_.now());
+
+    w.key("in").beginObject();
+    w.key("a_ms").value(rec.in.aMs);
+    w.key("a_ms_read").value(rec.in.aMsRead);
+    w.key("a_ms_write").value(rec.in.aMsWrite);
+    w.key("a_mm").value(rec.in.aMm);
+    w.key("read_misses").value(rec.in.readMisses);
+    w.key("writes").value(rec.in.writes);
+    w.key("clean_hits").value(rec.in.cleanHits);
+    w.endObject();
+
+    auto i64 = [&w](const char *key, std::int64_t v) {
+        // Credits/targets are non-negative by construction; emit as
+        // unsigned so the writer needs no signed overload.
+        w.key(key).value(static_cast<std::uint64_t>(v < 0 ? 0 : v));
+    };
+
+    w.key("targets").beginObject();
+    i64("fwb", rec.targets.nFwb);
+    i64("wb", rec.targets.nWb);
+    i64("ifrm", rec.targets.nIfrm);
+    i64("sfrm", rec.targets.nSfrm);
+    i64("wt", rec.targets.nWriteThrough);
+    w.key("active").value(rec.targets.active);
+    w.endObject();
+
+    w.key("credits").beginObject();
+    i64("fwb", rec.fwbCredits);
+    i64("wb", rec.wbCredits);
+    i64("ifrm", rec.ifrmCredits);
+    i64("sfrm", rec.sfrmCredits);
+    i64("wt", rec.wtCredits);
+    w.endObject();
+
+    // Uses during the window that just ended.
+    w.key("used").beginObject();
+    w.key("fwb").value(rec.fwbApplied - prev_.fwbApplied);
+    w.key("wb").value(rec.wbApplied - prev_.wbApplied);
+    w.key("ifrm").value(rec.ifrmApplied - prev_.ifrmApplied);
+    w.key("sfrm").value(rec.sfrmApplied - prev_.sfrmApplied);
+    w.key("wt").value(rec.wtApplied - prev_.wtApplied);
+    w.endObject();
+
+    w.endObject();
+    os_ << w.str() << '\n';
+
+    prev_ = rec;
+    ++windows_;
+}
+
+} // namespace dapsim::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-window DAP decision trace.
+ *
+ * Subscribes to DapPolicy's window boundary (DapTraceSink) and writes
+ * one JSONL record per window: the measured demand that fed the
+ * solver, the computed credit grants, the credit-counter values after
+ * loading them, and the per-window uses of each technique (derived by
+ * diffing the cumulative applied counts between windows). This is the
+ * raw material for checking that Equation 4's ratio converges mid-run
+ * and for plotting when FWB/WB/IFRM/SFRM actually fire.
+ */
+
+#ifndef DAPSIM_OBS_DAP_TRACE_HH
+#define DAPSIM_OBS_DAP_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/event_queue.hh"
+#include "dap/dap_controller.hh"
+
+namespace dapsim::obs
+{
+
+/** JSONL writer for DapWindowRecords. */
+class DapTrace final : public DapTraceSink
+{
+  public:
+    /** Schema identifier written into the header record. */
+    static constexpr const char *kSchema = "dapsim.daptrace.v1";
+
+    /**
+     * @param eq event queue supplying record timestamps
+     * @param os output stream (one JSON object per line)
+     *
+     * The header record is written on construction.
+     */
+    DapTrace(const EventQueue &eq, std::ostream &os);
+
+    void onWindow(const DapWindowRecord &rec) override;
+
+    /** Window records written so far. */
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    const EventQueue &eq_;
+    std::ostream &os_;
+    std::uint64_t windows_ = 0;
+    DapWindowRecord prev_{}; ///< previous cumulative applied counts
+};
+
+} // namespace dapsim::obs
+
+#endif // DAPSIM_OBS_DAP_TRACE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration surface of the observability subsystem.
+ *
+ * All hooks are opt-in and off by default; a default-constructed
+ * ObsConfig produces a System whose simulated behaviour and stat dumps
+ * are bit-identical to one built before the subsystem existed (the
+ * disabled hooks cost one predictable branch each at their call
+ * sites — see tests/test_obs_overhead.cc).
+ */
+
+#ifndef DAPSIM_OBS_OBS_CONFIG_HH
+#define DAPSIM_OBS_OBS_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace dapsim::obs
+{
+
+/** Time-series sampler output encoding. */
+enum class SampleFormat
+{
+    Jsonl, ///< header record + one JSON object per sample
+    Csv,   ///< header row + one comma-separated row per sample
+};
+
+/** Per-run observability selection (held inside SystemConfig). */
+struct ObsConfig
+{
+    /** Sample registered stats every this many CPU cycles (0 = off). */
+    Cycle sampleEvery = 0;
+
+    /** Time-series output path (required when sampleEvery > 0). */
+    std::string sampleOut;
+
+    SampleFormat sampleFormat = SampleFormat::Jsonl;
+
+    /** Per-window DAP decision trace output path (empty = off). */
+    std::string dapTrace;
+
+    /** Chrome trace_event JSON output path (empty = off). */
+    std::string chromeTrace;
+
+    bool samplingEnabled() const { return sampleEvery > 0; }
+
+    bool
+    anyEnabled() const
+    {
+        return samplingEnabled() || !dapTrace.empty() ||
+               !chromeTrace.empty();
+    }
+};
+
+} // namespace dapsim::obs
+
+#endif // DAPSIM_OBS_OBS_CONFIG_HH

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "dap/bandwidth_model.hh"
+#include "obs/observability.hh"
 
 namespace dapsim
 {
@@ -106,6 +107,8 @@ System::System(const SystemConfig &cfg,
         cores_.push_back(std::make_unique<RobCore>(
             eq_, cfg_.core, i, std::move(fetch), std::move(issue)));
     }
+
+    setupObservability();
 }
 
 System::~System() = default;
@@ -210,6 +213,108 @@ DapPolicy *
 System::dapPolicy()
 {
     return dynamic_cast<DapPolicy *>(policy_.get());
+}
+
+void
+System::setupObservability()
+{
+    if (!cfg_.obs.anyEnabled())
+        return;
+    obs_ = std::make_unique<obs::Observability>(cfg_.obs, eq_);
+
+    if (obs::ChromeTraceWriter *ct = obs_->chromeTrace()) {
+        eq_.setDispatchHook(ct);
+        mm_->setBusTrace(ct, "mainMemory");
+        if (auto *sc = dynamic_cast<SectoredDramCache *>(ms_.get()))
+            sc->array().setBusTrace(ct, "msArray");
+        if (auto *ac = dynamic_cast<AlloyCache *>(ms_.get()))
+            ac->array().setBusTrace(ct, "msArray");
+        if (auto *ec = dynamic_cast<EdramCache *>(ms_.get())) {
+            ec->readArray().setBusTrace(ct, "msReadArray");
+            ec->writeArray().setBusTrace(ct, "msWriteArray");
+        }
+    }
+
+    if (obs_->dapTrace())
+        if (DapPolicy *dap = dapPolicy())
+            dap->setTraceSink(obs_->dapTrace());
+
+    if (!cfg_.obs.samplingEnabled())
+        return;
+    obs::Sampler &smp = obs_->sampler();
+
+    StatGroup &l3g = obs_->makeGroup("l3");
+    l3g.addCounter("hits", &l3_->hits);
+    l3g.addCounter("misses", &l3_->misses);
+    l3g.addCounter("writebacks", &l3_->writebacksToMs);
+
+    StatGroup &msg = obs_->makeGroup("ms");
+    msg.addCounter("readHits", &ms_->readHits);
+    msg.addCounter("readMisses", &ms_->readMisses);
+    msg.addCounter("writeHits", &ms_->writeHits);
+    msg.addCounter("writeMisses", &ms_->writeMisses);
+    msg.addCounter("fills", &ms_->fills);
+    msg.addCounter("fillsBypassed", &ms_->fillsBypassed);
+    msg.addCounter("writesBypassed", &ms_->writesBypassed);
+    msg.addCounter("forcedReadMisses", &ms_->forcedReadMisses);
+    msg.addCounter("speculativeReads", &ms_->speculativeReads);
+    msg.addCounter("dirtyWritebacks", &ms_->dirtyWritebacks);
+    smp.addGroup(&l3g);
+    smp.addGroup(&msg);
+
+    if (DapPolicy *dap = dapPolicy()) {
+        StatGroup &dg = obs_->makeGroup("dap");
+        dg.addCounter("fwbApplied", &dap->fwbApplied);
+        dg.addCounter("wbApplied", &dap->wbApplied);
+        dg.addCounter("ifrmApplied", &dap->ifrmApplied);
+        dg.addCounter("sfrmApplied", &dap->sfrmApplied);
+        dg.addCounter("wtApplied", &dap->writeThroughApplied);
+        dg.addCounter("windowsPartitioned", &dap->windowsPartitioned);
+        dg.addCounter("windowsTotal", &dap->windowsTotal);
+        smp.addGroup(&dg);
+        smp.addColumn("dap.fwbCredits", [dap] {
+            return static_cast<double>(dap->fwbCredits());
+        });
+        smp.addColumn("dap.wbCredits", [dap] {
+            return static_cast<double>(dap->wbCredits());
+        });
+        smp.addColumn("dap.ifrmCredits", [dap] {
+            return static_cast<double>(dap->ifrmCredits());
+        });
+        smp.addColumn("dap.sfrmCredits", [dap] {
+            return static_cast<double>(dap->sfrmCredits());
+        });
+        smp.addColumn("dap.wtCredits", [dap] {
+            return static_cast<double>(dap->wtCredits());
+        });
+    }
+
+    smp.addColumn("sim.events", [this] {
+        return static_cast<double>(eq_.executed());
+    });
+    smp.addColumn("cores.ipc", [this] {
+        double sum = 0.0;
+        const Tick now = eq_.now();
+        for (const auto &c : cores_)
+            sum += c->finished() ? c->finishIpc() : c->ipcAt(now);
+        return sum;
+    });
+    smp.addColumn("ms.hitRatio",
+                  [this] { return ms_->hitRatio(); });
+    smp.addColumn("ms.mmCasFraction",
+                  [this] { return ms_->mainMemoryCasFraction(); });
+    smp.addColumn("mainMemory.casReads", [this] {
+        return static_cast<double>(mm_->casReads());
+    });
+    smp.addColumn("mainMemory.casWrites", [this] {
+        return static_cast<double>(mm_->casWrites());
+    });
+    smp.addColumn("mainMemory.rowHits", [this] {
+        return static_cast<double>(mm_->rowHits());
+    });
+    smp.addColumn("mainMemory.rowMisses", [this] {
+        return static_cast<double>(mm_->rowMisses());
+    });
 }
 
 bool
@@ -446,11 +551,18 @@ System::restore(ckpt::Deserializer &d, bool skip_policy)
 void
 System::run(Tick max_ticks)
 {
+    // Sampling starts here rather than at construction so checkpoint
+    // save/restore (tick 0, construction-time events only) still sees
+    // the pending-event count a freshly built System reproduces.
+    if (obs_)
+        obs_->startSampling(eq_);
     ms_->startWindows(cfg_.windowCycles);
     for (auto &c : cores_)
         c->start();
     eq_.runUntil([this] { return allCoresFinished(); }, max_ticks);
     ms_->stopWindows();
+    if (obs_)
+        obs_->sampler().stop();
 }
 
 } // namespace dapsim

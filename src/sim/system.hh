@@ -18,6 +18,7 @@
 #include "memside/alloy_cache.hh"
 #include "memside/edram_cache.hh"
 #include "memside/sectored_dram_cache.hh"
+#include "obs/obs_config.hh"
 #include "policies/batman.hh"
 #include "policies/bear.hh"
 #include "policies/sbd.hh"
@@ -26,6 +27,11 @@
 
 namespace dapsim
 {
+
+namespace obs
+{
+class Observability;
+} // namespace obs
 
 /** Which memory-side cache architecture the system uses. */
 enum class MsArch
@@ -80,6 +86,12 @@ struct SystemConfig
      *  0 selects ~2x the MS$ capacity in aggregate block touches. */
     std::uint64_t warmupAccessesPerCore = 0;
 
+    /** Opt-in observability (time-series sampling, DAP tracing,
+     *  Chrome trace export); all outputs default to off. Excluded
+     *  from checkpoint state hashing — observers never alter
+     *  simulated state. */
+    obs::ObsConfig obs{};
+
     /** MS$ capacity in bytes for the active architecture. */
     std::uint64_t msCapacityBytes() const;
 };
@@ -123,6 +135,11 @@ class System
     /** The DAP policy, or nullptr when another policy is active. */
     DapPolicy *dapPolicy();
 
+    /** The observability bundle, or nullptr when cfg.obs selects
+     *  nothing. Tracers flush when the System is destroyed; call
+     *  obs()->finish() to read outputs earlier. */
+    obs::Observability *observability() { return obs_.get(); }
+
     /**
      * Checkpoint every stateful component (see src/ckpt/). Must be
      * called at tick 0 before run() — the quiescent point where the
@@ -152,6 +169,8 @@ class System
     void deriveDapConfig();
     void buildPolicy();
     void buildMsCache();
+    /** Build and attach the obs bundle selected by cfg_.obs. */
+    void setupObservability();
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -162,6 +181,9 @@ class System
     std::vector<AccessGeneratorPtr> gens_;
     std::vector<std::unique_ptr<RobCore>> cores_;
     std::vector<std::unique_ptr<StridePrefetcher>> prefetchers_;
+    /** Declared last: observers hold pointers into the components
+     *  above, so they must be destroyed (and flushed) first. */
+    std::unique_ptr<obs::Observability> obs_;
 };
 
 /** Peak 64B accesses/CPU-cycle of the configured MS$ (DAP's B_MS$). */

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Property tests for the DAP solvers and credit counters.
+ *
+ * Pinned-RNG fuzz (the same LCG recipe as test_dap_solver.cc, so every
+ * run checks the same inputs) asserting the paper's structural
+ * guarantees rather than point values:
+ *
+ *  - SFRM never exceeds the 0.8 headroom share of the spare
+ *    main-memory bandwidth left after the other techniques (Fig 3).
+ *  - Every technique target is component-wise non-decreasing in the
+ *    per-window target cap: growing the credit budget can only grant
+ *    more bypasses, never fewer.
+ *  - The signed partition-ratio error against Eq 4,
+ *    e(C) = A'_MS$ - K·A'_MM after applying the targets granted under
+ *    cap C, is monotonically non-increasing as C grows — more credits
+ *    always move the split toward the bandwidth-proportional optimum.
+ *  - DapPolicy's saturating credit counters stay within [0, creditMax]
+ *    under arbitrary window demand and decision interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dap/dap_controller.hh"
+#include "dap/dap_solver.hh"
+
+namespace dapsim::dap
+{
+namespace
+{
+
+/** Deterministic LCG so failures reproduce byte-for-byte. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : x_(seed * 2654435761u + 99) {}
+
+    std::int64_t
+    operator()(std::int64_t lo, std::int64_t hi)
+    {
+        x_ = x_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lo + static_cast<std::int64_t>(
+                        (x_ >> 16) %
+                        static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+  private:
+    std::uint64_t x_;
+};
+
+FixedRatio
+paperK()
+{
+    return FixedRatio::quantize(102.4 / 38.4, 2); // 11/4
+}
+
+SectoredInput
+randomInput(Lcg &rnd)
+{
+    SectoredInput in;
+    in.aMs = rnd(0, 120);
+    in.aMm = rnd(0, 40);
+    in.readMisses = rnd(0, 70);
+    in.writes = rnd(0, 70);
+    in.cleanHits = rnd(0, 70);
+    in.bMsW = rnd(1, 40);
+    in.bMmW = rnd(1, 25);
+    return in;
+}
+
+class SolverPropertyExt : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverPropertyExt, SfrmRespectsSpareHeadroom)
+{
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()));
+    const FixedRatio k = paperK();
+    for (int i = 0; i < 500; ++i) {
+        const SectoredInput in = randomInput(rnd);
+        const Targets t = solveSectored(in, k);
+        // Fig 3: SFRM only consumes 80% of whatever main-memory
+        // bandwidth the other techniques left unused this window.
+        const std::int64_t spare =
+            in.bMmW - (in.aMm + t.nWb + t.nIfrm);
+        if (spare <= 0) {
+            EXPECT_EQ(t.nSfrm, 0) << "iteration " << i;
+        } else {
+            EXPECT_LE(t.nSfrm,
+                      static_cast<std::int64_t>(
+                          0.8 * static_cast<double>(spare)))
+                << "iteration " << i;
+        }
+        EXPECT_LE(t.nSfrm, 63);
+    }
+}
+
+TEST_P(SolverPropertyExt, TargetsMonotoneInCap)
+{
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()) + 1000);
+    const FixedRatio k = paperK();
+    for (int i = 0; i < 200; ++i) {
+        const SectoredInput in = randomInput(rnd);
+        Targets prev = solveSectored(in, k, 0.8, 0);
+        for (std::int64_t cap = 1; cap <= 63; ++cap) {
+            const Targets t = solveSectored(in, k, 0.8, cap);
+            EXPECT_GE(t.nFwb, prev.nFwb) << "cap " << cap;
+            EXPECT_GE(t.nWb, prev.nWb) << "cap " << cap;
+            EXPECT_GE(t.nIfrm, prev.nIfrm) << "cap " << cap;
+            // (nSfrm is deliberately NOT monotone: a bigger cap lets
+            // WB/IFRM consume the spare bandwidth SFRM would use.)
+            prev = t;
+        }
+    }
+}
+
+TEST_P(SolverPropertyExt, RatioErrorNonIncreasingInCap)
+{
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()) + 2000);
+    const FixedRatio k = paperK();
+    for (int i = 0; i < 200; ++i) {
+        const SectoredInput in = randomInput(rnd);
+        // Signed distance from Eq 4's bandwidth-proportional split
+        // after applying the granted bypasses: FWB removes an MS$
+        // access; WB and IFRM each move one access from the MS$ to
+        // main memory.
+        auto err = [&](const Targets &t) {
+            const std::int64_t adj_ms =
+                in.aMs - t.nFwb - t.nWb - t.nIfrm;
+            const std::int64_t adj_mm = in.aMm + t.nWb + t.nIfrm;
+            return adj_ms - k.mul(adj_mm);
+        };
+        const Targets t0 = solveSectored(in, k, 0.8, 0);
+        if (!t0.active)
+            continue; // no grants at any cap: error is flat
+        std::int64_t prev = err(t0);
+        for (std::int64_t cap = 1; cap <= 63; ++cap) {
+            const std::int64_t e = err(solveSectored(in, k, 0.8, cap));
+            EXPECT_LE(e, prev) << "cap " << cap << " iteration " << i;
+            prev = e;
+        }
+    }
+}
+
+TEST_P(SolverPropertyExt, PolicyCreditsStayWithinHardwareRange)
+{
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()) + 3000);
+    DapConfig cfg;
+    cfg.msPeakAccPerCycle = 0.4;
+    cfg.mmPeakAccPerCycle = 0.15;
+    DapPolicy policy(cfg);
+
+    auto checkRange = [&policy, &cfg](const char *when) {
+        for (std::int64_t c :
+             {policy.fwbCredits(), policy.wbCredits(),
+              policy.ifrmCredits(), policy.sfrmCredits(),
+              policy.wtCredits()}) {
+            EXPECT_GE(c, 0) << when;
+            EXPECT_LE(c, cfg.creditMax) << when;
+        }
+    };
+
+    for (int w = 0; w < 400; ++w) {
+        WindowCounters prev;
+        prev.aMs = static_cast<std::uint64_t>(rnd(0, 200));
+        prev.aMm = static_cast<std::uint64_t>(rnd(0, 60));
+        prev.readMisses = static_cast<std::uint64_t>(rnd(0, 80));
+        prev.writes = static_cast<std::uint64_t>(rnd(0, 80));
+        prev.cleanHits = static_cast<std::uint64_t>(rnd(0, 80));
+        policy.beginWindow(prev);
+        checkRange("after beginWindow");
+
+        // Random decision traffic drains the counters mid-window.
+        for (int d = rnd(0, 40); d > 0; --d) {
+            const Addr addr = static_cast<Addr>(rnd(0, 7)) << 40;
+            switch (rnd(0, 3)) {
+              case 0:
+                policy.shouldBypassFill(addr);
+                break;
+              case 1:
+                policy.shouldBypassWrite(addr);
+                break;
+              case 2:
+                policy.shouldForceReadMiss(addr);
+                break;
+              default:
+                policy.shouldSpeculateToMemory(addr);
+                break;
+            }
+        }
+        checkRange("after decisions");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyExt,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace dapsim::dap

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Overhead guard for the observability subsystem.
+ *
+ * The contract: with every obs output disabled, the subsystem is
+ * invisible — no Observability object exists, every hook pointer is
+ * null, and simulated behaviour (hence the stat dump) is bit-identical
+ * to a build without src/obs/. With tracing enabled the simulation
+ * still must not change: observer callbacks only read state, so the
+ * only permitted dump difference is the sampler's own events in the
+ * `sim.events` row. A generous wall-clock bound guards against the
+ * disabled branches growing into real work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/observability.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.numCores = 4;
+    cfg.sectored.capacityBytes = 2 * kMiB;
+    cfg.sectored.tagCache.entries = 128;
+    cfg.warmupAccessesPerCore = 2'000;
+    cfg.policy = PolicyKind::Dap;
+    cfg.core.instructions = 2'000;
+    return cfg;
+}
+
+std::vector<AccessGeneratorPtr>
+tinyGens(const SystemConfig &cfg)
+{
+    WorkloadProfile w = workloadByName("mcf");
+    w.params.footprintBytes = 256 * kKiB;
+    std::vector<AccessGeneratorPtr> gens;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(w, i));
+    return gens;
+}
+
+struct DumpAndTime
+{
+    std::string dump;
+    double millis = 0.0;
+};
+
+DumpAndTime
+runOnce(const obs::ObsConfig &obs)
+{
+    SystemConfig cfg = tinySystem();
+    cfg.obs = obs;
+    System sys(cfg, tinyGens(cfg));
+    sys.warmup(cfg.warmupAccessesPerCore);
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    DumpAndTime out;
+    std::ostringstream os;
+    sys.dumpStats(os);
+    out.dump = os.str();
+    out.millis =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return out;
+}
+
+TEST(ObsOverhead, DisabledRunsHaveNoObservabilityObject)
+{
+    SystemConfig cfg = tinySystem();
+    System sys(cfg, tinyGens(cfg));
+    EXPECT_EQ(sys.observability(), nullptr);
+}
+
+TEST(ObsOverhead, DisabledDumpsAreBitIdentical)
+{
+    const std::string a = runOnce(obs::ObsConfig{}).dump;
+    const std::string b = runOnce(obs::ObsConfig{}).dump;
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ObsOverhead, TracingNeverPerturbsTheSimulation)
+{
+    // DAP tracing and the Chrome dispatch/bus hooks schedule no events
+    // and mutate nothing, so the dump must match a plain run exactly.
+    const std::string plain = runOnce(obs::ObsConfig{}).dump;
+    obs::ObsConfig traced;
+    traced.dapTrace = ::testing::TempDir() + "obs_overhead_dap.jsonl";
+    traced.chromeTrace =
+        ::testing::TempDir() + "obs_overhead_chrome.json";
+    EXPECT_EQ(plain, runOnce(traced).dump);
+    std::remove(traced.dapTrace.c_str());
+    std::remove(traced.chromeTrace.c_str());
+}
+
+TEST(ObsOverhead, SamplingOnlyAddsItsOwnEvents)
+{
+    const std::string plain = runOnce(obs::ObsConfig{}).dump;
+    obs::ObsConfig sampled;
+    sampled.sampleEvery = 1'000;
+    sampled.sampleOut =
+        ::testing::TempDir() + "obs_overhead_samples.jsonl";
+    const std::string with = runOnce(sampled).dump;
+    std::remove(sampled.sampleOut.c_str());
+
+    std::istringstream pis(plain);
+    std::istringstream wis(with);
+    std::string pl, wl;
+    while (std::getline(pis, pl)) {
+        ASSERT_TRUE(std::getline(wis, wl));
+        if (pl.rfind("sim.events ", 0) == 0) {
+            // The sampler's periodic reads are the only extra events.
+            EXPECT_EQ(wl.rfind("sim.events ", 0), 0u);
+            EXPECT_GT(std::stoull(wl.substr(11)),
+                      std::stoull(pl.substr(11)));
+        } else {
+            EXPECT_EQ(pl, wl);
+        }
+    }
+    EXPECT_FALSE(std::getline(wis, wl));
+}
+
+TEST(ObsOverhead, DisabledWallClockWithinGenerousBound)
+{
+    // Warm both paths once (allocator, page cache), then compare.
+    (void)runOnce(obs::ObsConfig{});
+    const double off = runOnce(obs::ObsConfig{}).millis;
+    obs::ObsConfig all;
+    all.sampleEvery = 1'000;
+    all.sampleOut = ::testing::TempDir() + "obs_overhead_wall.jsonl";
+    all.dapTrace = ::testing::TempDir() + "obs_overhead_wall_dap.jsonl";
+    all.chromeTrace =
+        ::testing::TempDir() + "obs_overhead_wall_chrome.json";
+    const double on = runOnce(all).millis;
+    std::remove(all.sampleOut.c_str());
+    std::remove(all.dapTrace.c_str());
+    std::remove(all.chromeTrace.c_str());
+
+    // Full tracing writes one record per DRAM CAS, so it IS allowed to
+    // cost real time; the guard is that it stays within an order of
+    // magnitude (plus scheduler-noise slack) of the silent run. A
+    // regression that makes the disabled branches do work would
+    // instead show up in `off` rising toward `on` in profiling — and
+    // in the bit-identical dump assertions above failing.
+    EXPECT_LE(on, off * 10.0 + 2000.0)
+        << "tracing overhead exploded: off=" << off << "ms on=" << on
+        << "ms";
+}
+
+} // namespace
+} // namespace dapsim

@@ -14,7 +14,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "exp/json_writer.hh"
+#include "common/json_writer.hh"
 #include "exp/result_sink.hh"
 #include "sim/presets.hh"
 
@@ -163,8 +163,8 @@ runTinyJob(PolicyKind policy)
 
 TEST(JsonWriter, EscapesControlAndQuoteCharacters)
 {
-    EXPECT_EQ(exp::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-    EXPECT_EQ(exp::jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(json::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(json::jsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
 TEST(JsonLinesSink, RecordCarriesRequiredKeys)

@@ -46,6 +46,7 @@ struct Options
     std::string saveCkpt;
     std::string restoreCkpt;
     bool stats = false;
+    obs::ObsConfig obs{};
 };
 
 [[noreturn]] void
@@ -67,6 +68,12 @@ usage()
         "  --save-ckpt FILE     snapshot the post-warmup state to FILE\n"
         "  --restore-ckpt FILE  skip warm-up; restore the state from "
         "FILE\n"
+        "  --sample-every N     sample stats every N CPU cycles\n"
+        "  --sample-out FILE    time-series output (with "
+        "--sample-every)\n"
+        "  --sample-format F    jsonl (default) or csv\n"
+        "  --dap-trace FILE     per-window DAP decision trace (JSONL)\n"
+        "  --chrome-trace FILE  Chrome trace_event JSON (Perfetto)\n"
         "  --stats              dump full statistics\n"
         "  --list               list workload profiles\n");
     std::exit(1);
@@ -157,6 +164,22 @@ main(int argc, char **argv)
             opt.saveCkpt = value();
         else if (a == "--restore-ckpt")
             opt.restoreCkpt = value();
+        else if (a == "--sample-every")
+            opt.obs.sampleEvery = std::stoull(value());
+        else if (a == "--sample-out")
+            opt.obs.sampleOut = value();
+        else if (a == "--sample-format") {
+            const std::string f = value();
+            if (f == "jsonl")
+                opt.obs.sampleFormat = obs::SampleFormat::Jsonl;
+            else if (f == "csv")
+                opt.obs.sampleFormat = obs::SampleFormat::Csv;
+            else
+                fatal("--sample-format expects jsonl or csv");
+        } else if (a == "--dap-trace")
+            opt.obs.dapTrace = value();
+        else if (a == "--chrome-trace")
+            opt.obs.chromeTrace = value();
         else if (a == "--stats")
             opt.stats = true;
         else if (a == "--list") {
@@ -173,8 +196,11 @@ main(int argc, char **argv)
 
     if (!opt.saveCkpt.empty() && !opt.restoreCkpt.empty())
         fatal("--save-ckpt and --restore-ckpt are mutually exclusive");
+    if ((opt.obs.sampleEvery != 0) != !opt.obs.sampleOut.empty())
+        fatal("--sample-every and --sample-out must be used together");
 
-    const SystemConfig cfg = buildConfig(opt);
+    SystemConfig cfg = buildConfig(opt);
+    cfg.obs = opt.obs;
 
     std::vector<AccessGeneratorPtr> gens;
     std::string mix_name;

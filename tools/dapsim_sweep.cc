@@ -15,10 +15,12 @@
  *   dapsim_sweep --capacity-mb 32,64,128 --policy dap --workload all
  */
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -47,6 +49,16 @@ struct Options
     bool quiet = false;
     bool warmupFork = false;
     std::string ckptDir;
+
+    // Per-job observability (see src/obs/): every selected output
+    // goes to its own file under obsDir, so parallel jobs never
+    // interleave a stream.
+    std::string obsDir;
+    std::uint64_t sampleEvery = 0;
+    obs::SampleFormat sampleFormat = obs::SampleFormat::Jsonl;
+    bool dapTrace = false;
+    bool chromeTrace = false;
+    std::string phaseTracePath;
 };
 
 [[noreturn]] void
@@ -78,6 +90,15 @@ usage()
         "  --ckpt-dir DIR       keep/reuse warm-up checkpoints in DIR "
         "(implies\n"
         "                       --warmup-fork)\n"
+        "  --obs-dir DIR        write per-job observability files into "
+        "DIR\n"
+        "  --sample-every N     per-job stat time series every N CPU "
+        "cycles\n"
+        "  --sample-format F    jsonl (default) or csv\n"
+        "  --dap-trace          per-job DAP decision traces (JSONL)\n"
+        "  --chrome-trace       per-job Chrome trace_event files\n"
+        "  --phase-trace FILE   wall-clock job-scheduling trace "
+        "(Chrome JSON)\n"
         "  --quiet              suppress the console table\n"
         "  --list               list workload profiles\n");
     std::exit(1);
@@ -160,6 +181,29 @@ resolveWorkloads(const std::vector<std::string> &names)
     return out;
 }
 
+/** Filesystem-safe job label: '/' and other separators become '_'. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+              c == '.'))
+            c = '_';
+    }
+    return out;
+}
+
+/** `DIR/job###-<label>` — the per-job observability path stem. */
+std::string
+obsStem(const std::string &dir, std::size_t index,
+        const std::string &label)
+{
+    char num[16];
+    std::snprintf(num, sizeof(num), "job%03zu", index);
+    return dir + "/" + num + "-" + sanitizeLabel(label);
+}
+
 SystemConfig
 archConfig(const std::string &arch, std::uint64_t capacity_mb)
 {
@@ -218,6 +262,24 @@ main(int argc, char **argv)
             opt.warmupFork = true;
         else if (a == "--ckpt-dir")
             opt.ckptDir = value();
+        else if (a == "--obs-dir")
+            opt.obsDir = value();
+        else if (a == "--sample-every")
+            opt.sampleEvery = parseNumber(a, value());
+        else if (a == "--sample-format") {
+            const std::string f = value();
+            if (f == "jsonl")
+                opt.sampleFormat = obs::SampleFormat::Jsonl;
+            else if (f == "csv")
+                opt.sampleFormat = obs::SampleFormat::Csv;
+            else
+                fatal("--sample-format expects jsonl or csv");
+        } else if (a == "--dap-trace")
+            opt.dapTrace = true;
+        else if (a == "--chrome-trace")
+            opt.chromeTrace = true;
+        else if (a == "--phase-trace")
+            opt.phaseTracePath = value();
         else if (a == "--quiet")
             opt.quiet = true;
         else if (a == "--list") {
@@ -233,6 +295,21 @@ main(int argc, char **argv)
     }
     if (opt.jobs == 0)
         opt.jobs = 1;
+
+    const bool perJobObs =
+        opt.sampleEvery != 0 || opt.dapTrace || opt.chromeTrace;
+    if (perJobObs && opt.obsDir.empty())
+        fatal("--sample-every/--dap-trace/--chrome-trace require "
+              "--obs-dir");
+    if (!opt.obsDir.empty() && !perJobObs)
+        fatal("--obs-dir needs --sample-every, --dap-trace or "
+              "--chrome-trace");
+    if (perJobObs) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.obsDir, ec);
+        if (ec)
+            fatal("cannot create " + opt.obsDir + ": " + ec.message());
+    }
 
     const std::vector<GridWorkload> workloads =
         resolveWorkloads(opt.workloads);
@@ -264,6 +341,27 @@ main(int argc, char **argv)
                                 "unknown workload: " + name);
                         };
                     }
+                    if (perJobObs && gw.known) {
+                        const std::string stem = obsStem(
+                            opt.obsDir, runner.jobCount(),
+                            spec.mix.name + "/" + policy);
+                        if (opt.sampleEvery) {
+                            spec.cfg.obs.sampleEvery = opt.sampleEvery;
+                            spec.cfg.obs.sampleFormat =
+                                opt.sampleFormat;
+                            spec.cfg.obs.sampleOut =
+                                stem + (opt.sampleFormat ==
+                                                obs::SampleFormat::Csv
+                                            ? ".samples.csv"
+                                            : ".samples.jsonl");
+                        }
+                        if (opt.dapTrace)
+                            spec.cfg.obs.dapTrace =
+                                stem + ".daptrace.jsonl";
+                        if (opt.chromeTrace)
+                            spec.cfg.obs.chromeTrace =
+                                stem + ".trace.json";
+                    }
                     runner.add(std::move(spec));
                 }
             }
@@ -288,6 +386,8 @@ main(int argc, char **argv)
     const bool fork = opt.warmupFork || !opt.ckptDir.empty();
     if (fork)
         runner.setWarmupFork(true, opt.ckptDir);
+    if (!opt.phaseTracePath.empty())
+        runner.setPhaseTrace(opt.phaseTracePath);
 
     runner.setProgress(true);
     const auto results = runner.run(opt.jobs);
