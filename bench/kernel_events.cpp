@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Event-kernel benchmark: scheduler microbenchmarks + a pinned
+ * end-to-end scenario, emitted as BENCH_kernel.json.
+ *
+ * The microbenchmarks drive the production `EventQueue` and the frozen
+ * reference heap (`tests/reference_event_queue.hh`) through identical
+ * event populations — self-rescheduling storms, same-tick bursts,
+ * mixed near/far horizons, and large-capture callbacks — and report
+ * dispatched events per second for each. The end-to-end section runs
+ * a pinned fig12-style heterogeneous 8-core mix under the DAP policy
+ * and reports simulator wall-clock and events per second.
+ *
+ * The JSON this binary writes is committed at the repo root so the
+ * kernel's perf trajectory is tracked PR over PR; CI re-runs it in a
+ * Release build and fails if the wheel-vs-reference speedup regresses
+ * more than 10% against the committed numbers (ratios, not absolute
+ * rates, so the check is hardware-independent).
+ *
+ * Usage: kernel_events [--out FILE] [--skip-e2e]
+ * Env:   DAPSIM_BENCH_E2E_BEFORE_MS / DAPSIM_BENCH_E2E_BEFORE_EPS —
+ *        optional pre-change end-to-end numbers to embed alongside the
+ *        current measurement (used when regenerating the committed
+ *        file across a kernel change).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/json_writer.hh"
+#include "common/rng.hh"
+#include "reference_event_queue.hh"
+#include "sim/presets.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+using namespace dapsim;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Self-rescheduling storm: @p chains concurrent event chains, each
+ * rescheduling itself a pseudo-random near-future delta ahead, the
+ * steady-state shape of channel kicks and CAS completions.
+ */
+template <class Q>
+std::uint64_t
+stormSelfResched(Q &eq, std::uint64_t total, std::uint32_t chains)
+{
+    std::uint64_t executed = 0;
+    struct Chain
+    {
+        Q *eq;
+        Rng rng;
+        std::uint64_t *executed;
+        std::uint64_t budget;
+
+        void
+        fire()
+        {
+            ++*executed;
+            if (budget-- == 0)
+                return;
+            eq->scheduleAfter(1 + rng.below(20'000),
+                              [this] { fire(); });
+        }
+    };
+    std::vector<Chain> state;
+    state.reserve(chains);
+    const std::uint64_t per = total / chains;
+    for (std::uint32_t c = 0; c < chains; ++c) {
+        state.push_back(Chain{&eq, Rng(c + 1), &executed, per});
+        Chain *ch = &state.back();
+        eq.schedule(1 + ch->rng.below(20'000), [ch] { ch->fire(); });
+    }
+    eq.run();
+    return executed;
+}
+
+/**
+ * Same-tick bursts: @p chains chains stepping in lockstep on a
+ * 250 ps CPU clock edge, so every populated tick carries a burst of
+ * simultaneous events (the clock-edge clustering the wheel exploits).
+ */
+template <class Q>
+std::uint64_t
+sameTickBurst(Q &eq, std::uint64_t total, std::uint32_t chains)
+{
+    std::uint64_t executed = 0;
+    struct Chain
+    {
+        Q *eq;
+        std::uint64_t *executed;
+        std::uint64_t budget;
+
+        void
+        fire()
+        {
+            ++*executed;
+            if (budget-- == 0)
+                return;
+            eq->scheduleAfter(250, [this] { fire(); });
+        }
+    };
+    std::vector<Chain> state;
+    state.reserve(chains);
+    const std::uint64_t per = total / chains;
+    for (std::uint32_t c = 0; c < chains; ++c) {
+        state.push_back(Chain{&eq, &executed, per});
+        Chain *ch = &state.back();
+        eq.schedule(250, [ch] { ch->fire(); });
+    }
+    eq.run();
+    return executed;
+}
+
+/**
+ * Mixed horizons: mostly near-future chains plus refresh-period and
+ * sampler-period chains that overflow any bounded wheel window.
+ */
+template <class Q>
+std::uint64_t
+mixedHorizon(Q &eq, std::uint64_t total, std::uint32_t chains)
+{
+    std::uint64_t executed = 0;
+    struct Chain
+    {
+        Q *eq;
+        Rng rng;
+        std::uint64_t *executed;
+        std::uint64_t budget;
+        Tick farPeriod; ///< 0 selects random near-future deltas
+
+        void
+        fire()
+        {
+            ++*executed;
+            if (budget-- == 0)
+                return;
+            const Tick dt =
+                farPeriod ? farPeriod : 1 + rng.below(40'000);
+            eq->scheduleAfter(dt, [this] { fire(); });
+        }
+    };
+    std::vector<Chain> state;
+    state.reserve(chains + 9);
+    const std::uint64_t per = total / chains;
+    for (std::uint32_t c = 0; c < chains; ++c)
+        state.push_back(Chain{&eq, Rng(c + 1), &executed, per, 0});
+    // Refresh-like chains (tREFI at DDR4-2400) and one sampler-like.
+    for (int c = 0; c < 8; ++c)
+        state.push_back(Chain{&eq, Rng(0), &executed, per,
+                              7'812'500});
+    state.push_back(Chain{&eq, Rng(0), &executed, per, 2'500'000});
+    for (auto &ch : state) {
+        Chain *p = &ch;
+        eq.schedule(1 + p->rng.below(40'000), [p] { p->fire(); });
+    }
+    eq.run(static_cast<Tick>(per) * 45'000);
+    return executed;
+}
+
+/**
+ * Large captures: callbacks carrying 40 bytes of state — more than
+ * std::function's inline buffer, so the reference heap allocates per
+ * event while an SBO callback type does not.
+ */
+template <class Q>
+std::uint64_t
+largeCapture(Q &eq, std::uint64_t total, std::uint32_t chains)
+{
+    std::uint64_t executed = 0;
+    struct Chain
+    {
+        Q *eq;
+        Rng rng;
+        std::uint64_t *executed;
+        std::uint64_t budget;
+
+        void
+        fire(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+             std::uint64_t d)
+        {
+            *executed += 1 + ((a + b + c + d) & 0); // keep payload live
+            if (budget-- == 0)
+                return;
+            Chain *self = this;
+            eq->scheduleAfter(1 + rng.below(20'000),
+                              [self, a, b, c, d] {
+                                  self->fire(a, b, c, d);
+                              });
+        }
+    };
+    std::vector<Chain> state;
+    state.reserve(chains);
+    const std::uint64_t per = total / chains;
+    for (std::uint32_t c = 0; c < chains; ++c) {
+        state.push_back(Chain{&eq, Rng(c + 1), &executed, per});
+        Chain *ch = &state.back();
+        eq.schedule(1 + ch->rng.below(20'000),
+                    [ch] { ch->fire(1, 2, 3, 4); });
+    }
+    eq.run();
+    return executed;
+}
+
+struct Rate
+{
+    std::uint64_t events;
+    double eventsPerSec;
+};
+
+/** Best-of-@p reps run of @p scenario on a fresh queue of type Q. */
+template <class Q, class Fn>
+Rate
+measure(Fn scenario, int reps)
+{
+    Rate best{0, 0.0};
+    for (int r = 0; r < reps; ++r) {
+        Q eq;
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t n = scenario(eq);
+        const double dt = secondsSince(t0);
+        const double eps = static_cast<double>(n) / dt;
+        if (eps > best.eventsPerSec)
+            best = Rate{n, eps};
+    }
+    return best;
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    Rate ref;
+    Rate wheel;
+};
+
+/** The pinned fig12-style end-to-end scenario: 8-core heterogeneous
+ *  mix, sectored MS$, DAP policy. Everything here is part of the
+ *  tracked-benchmark contract — change it only with a note in
+ *  BENCH_kernel.json history. */
+struct E2eResult
+{
+    std::uint64_t events;
+    double wallMs;
+    double eventsPerSec;
+    double warmupMs;
+};
+
+E2eResult
+runE2e()
+{
+    const char *apps[8] = {"mcf",   "libquantum", "omnetpp",
+                           "milc",  "hpcg",       "bwaves",
+                           "gcc.expr", "parboil-lbm"};
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.policy = PolicyKind::Dap;
+    cfg.core.instructions = 150'000;
+
+    std::vector<AccessGeneratorPtr> gens;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(workloadByName(apps[i]), i));
+    System sys(cfg, std::move(gens));
+
+    const auto w0 = std::chrono::steady_clock::now();
+    sys.warmup(20'000);
+    const double warmupMs = secondsSince(w0) * 1e3;
+
+    const std::uint64_t ev0 = sys.eventQueue().executed();
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run();
+    const double dt = secondsSince(t0);
+    const std::uint64_t events = sys.eventQueue().executed() - ev0;
+    return E2eResult{events, dt * 1e3,
+                     static_cast<double>(events) / dt, warmupMs};
+}
+
+/** Dispatched events per microbenchmark scenario (per rep). */
+constexpr std::uint64_t kEvents = 3'000'000;
+
+double
+envDouble(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atof(v) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_kernel.json";
+    bool skipE2e = false;
+    bool e2eOnly = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+        else if (std::strcmp(argv[i], "--skip-e2e") == 0)
+            skipE2e = true;
+        else if (std::strcmp(argv[i], "--e2e-only") == 0)
+            e2eOnly = true;
+        else {
+            std::cerr << "usage: kernel_events [--out FILE]"
+                         " [--skip-e2e] [--e2e-only]\n";
+            return 2;
+        }
+    }
+
+    constexpr int kReps = 3;
+    std::vector<ScenarioResult> results;
+
+    const auto bench = [&](const std::string &name, auto scenario) {
+        ScenarioResult r;
+        r.name = name;
+        r.ref = measure<RefEventQueue>(scenario, kReps);
+        r.wheel = measure<EventQueue>(scenario, kReps);
+        std::cout << name << ": ref "
+                  << static_cast<std::uint64_t>(r.ref.eventsPerSec)
+                  << " ev/s, kernel "
+                  << static_cast<std::uint64_t>(r.wheel.eventsPerSec)
+                  << " ev/s ("
+                  << r.wheel.eventsPerSec / r.ref.eventsPerSec
+                  << "x)\n";
+        results.push_back(std::move(r));
+    };
+
+    if (!e2eOnly) {
+    bench("storm_selfresched_512", [](auto &eq) {
+        return stormSelfResched(eq, kEvents, 512);
+    });
+    bench("storm_selfresched_4096", [](auto &eq) {
+        return stormSelfResched(eq, kEvents, 4096);
+    });
+    bench("same_tick_burst_512", [](auto &eq) {
+        return sameTickBurst(eq, kEvents, 512);
+    });
+    bench("mixed_horizon_1024", [](auto &eq) {
+        return mixedHorizon(eq, kEvents, 1024);
+    });
+    bench("large_capture_512", [](auto &eq) {
+        return largeCapture(eq, kEvents, 512);
+    });
+    }
+
+    E2eResult e2e{0, 0.0, 0.0, 0.0};
+    if (!skipE2e) {
+        e2e = runE2e();
+        std::cout << "e2e_fig12_mix: " << e2e.events << " events in "
+                  << e2e.wallMs << " ms ("
+                  << static_cast<std::uint64_t>(e2e.eventsPerSec)
+                  << " ev/s)\n";
+    }
+
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("dapsim.benchkernel.v1");
+    w.key("kernel").beginArray();
+    for (const auto &r : results) {
+        w.beginObject();
+        w.key("name").value(r.name);
+        w.key("events").value(r.ref.events);
+        w.key("ref_events_per_sec").value(r.ref.eventsPerSec);
+        w.key("kernel_events_per_sec").value(r.wheel.eventsPerSec);
+        w.key("speedup").value(r.wheel.eventsPerSec /
+                               r.ref.eventsPerSec);
+        w.endObject();
+    }
+    w.endArray();
+    if (!skipE2e) {
+        w.key("e2e").beginObject();
+        w.key("scenario").value("fig12_hetero_mix8_dap_150k");
+        w.key("events").value(e2e.events);
+        w.key("wall_ms").value(e2e.wallMs);
+        w.key("events_per_sec").value(e2e.eventsPerSec);
+        w.key("warmup_ms").value(e2e.warmupMs);
+        const double beforeMs =
+            envDouble("DAPSIM_BENCH_E2E_BEFORE_MS");
+        const double beforeEps =
+            envDouble("DAPSIM_BENCH_E2E_BEFORE_EPS");
+        if (beforeMs > 0.0) {
+            w.key("before_wall_ms").value(beforeMs);
+            w.key("before_events_per_sec").value(beforeEps);
+            w.key("wall_clock_speedup").value(beforeMs / e2e.wallMs);
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    std::ofstream os(out);
+    os << w.str() << '\n';
+    if (!os) {
+        std::cerr << "kernel_events: cannot write " << out << '\n';
+        return 1;
+    }
+    std::cout << "wrote " << out << '\n';
+    return 0;
+}

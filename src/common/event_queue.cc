@@ -1,52 +1,151 @@
 #include "common/event_queue.hh"
 
-#include "common/log.hh"
+#include <algorithm>
+#include <bit>
 
 namespace dapsim
 {
 
+EventQueue::EventQueue() : buckets_(kSlots), bucketSorted_(kSlots, 1) {}
+
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::pushBucket(std::uint64_t quantum, Entry &&e)
 {
-    if (when < now_)
-        panic("EventQueue: scheduling in the past");
-    heap_.push(Entry{when, seq_++, std::move(cb)});
+    // Refill path only: unlike direct schedules, refilled entries can
+    // carry any (when, seq), so the order check needs both fields.
+    const std::size_t slot = static_cast<std::size_t>(quantum) & kSlotMask;
+    Bucket &b = buckets_[slot];
+    if (b.keys.empty()) {
+        bucketSorted_[slot] = 1;
+    } else {
+        const Key &last = b.keys.back();
+        if (e.when < last.when ||
+            (e.when == last.when && e.seq < last.seq))
+            bucketSorted_[slot] = 0;
+    }
+    b.keys.push_back(Key{e.when, e.seq});
+    b.cbs.push_back(std::move(e.cb));
+    occupied_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+}
+
+std::uint64_t
+EventQueue::findFirstOccupied() const
+{
+    const std::size_t start = static_cast<std::size_t>(base_) & kSlotMask;
+    std::size_t word = start >> 6;
+    std::uint64_t bits =
+        occupied_[word] & (~std::uint64_t(0) << (start & 63));
+    // One pass over every word, plus a revisit of the first word for
+    // the bits below `start` (they are one full wrap away in time).
+    for (std::size_t i = 0; i <= kBitmapWords; ++i) {
+        if (bits != 0) {
+            const std::size_t slot =
+                (word << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            const std::size_t dist = (slot - start) & kSlotMask;
+            return base_ + dist;
+        }
+        word = (word + 1) & (kBitmapWords - 1);
+        bits = occupied_[word];
+    }
+    return kNoSlot;
+}
+
+void
+EventQueue::refillFromOverflow()
+{
+    const std::uint64_t end = base_ + kSlots;
+    while (!overflow_.empty() &&
+           (overflow_.front().when >> kQuantumBits) < end) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), heapLater);
+        Entry e = std::move(overflow_.back());
+        overflow_.pop_back();
+        const std::uint64_t q = e.when >> kQuantumBits;
+        if (q <= base_)
+            insertRun(e.when, e.seq, std::move(e.cb));
+        else
+            pushBucket(q, std::move(e));
+    }
+}
+
+void
+EventQueue::promote(std::uint64_t quantum)
+{
+    const std::size_t slot = static_cast<std::size_t>(quantum) & kSlotMask;
+    clearRun(); // only consumed husks remain; drop them
+    Bucket &b = buckets_[slot];
+    std::swap(runKeys_, b.keys); // capacities circulate, no moves
+    std::swap(runCbs_, b.cbs);
+    occupied_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    base_ = quantum;
+
+    runOrder_.resize(runKeys_.size());
+    for (std::uint32_t i = 0; i < runOrder_.size(); ++i)
+        runOrder_[i] = i;
+    // Bucket append order mixes direct schedules with overflow refills,
+    // so (when, seq) order must be restored explicitly — unless the
+    // pushes happened to arrive in order (tracked per bucket; the
+    // common clock-edge case). Keys are dense 16-byte pairs, so the
+    // sort never touches the callbacks.
+    if (!bucketSorted_[slot]) {
+        std::sort(runOrder_.begin(), runOrder_.end(),
+                  [this](std::uint32_t x, std::uint32_t y) {
+                      const Key &a = runKeys_[x], &b_ = runKeys_[y];
+                      if (a.when != b_.when)
+                          return a.when < b_.when;
+                      return a.seq < b_.seq;
+                  });
+        bucketSorted_[slot] = 1;
+    }
+
+    // The window end moved with base_; pull newly-near events in.
+    refillFromOverflow();
+}
+
+bool
+EventQueue::ensureRun()
+{
+    if (runHead_ < runOrder_.size())
+        return true;
+    const std::uint64_t q = findFirstOccupied();
+    if (q != kNoSlot) {
+        promote(q);
+        return true;
+    }
+    if (overflow_.empty())
+        return false;
+    // Wheel empty: jump the window to the overflow minimum. The refill
+    // lands that quantum's events directly in the (empty) run.
+    clearRun();
+    base_ = overflow_.front().when >> kQuantumBits;
+    refillFromOverflow();
+    return true;
+}
+
+Tick
+EventQueue::nextEventTickSlow()
+{
+    if (!ensureRun())
+        return kNoEvent;
+    return runKeys_[runOrder_[runHead_]].when;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (nextEventTick() == kNoEvent)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because pop() immediately discards the entry.
-    auto &top = const_cast<Entry &>(heap_.top());
-    now_ = top.when;
-    Callback cb = std::move(top.cb);
-    heap_.pop();
-    ++executed_;
-    cb();
-    if (hook_)
-        hook_->onDispatch(now_, heap_.size());
+    dispatchOne();
     return true;
 }
 
 void
-EventQueue::run(Tick limit)
+EventQueue::reserve(std::size_t expected_pending)
 {
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        if (!step())
-            break;
-    }
-}
-
-void
-EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
-{
-    while (!done() && !heap_.empty() && heap_.top().when <= limit) {
-        if (!step())
-            break;
-    }
+    overflow_.reserve(expected_pending);
+    runKeys_.reserve(std::min<std::size_t>(expected_pending, 4096));
+    runCbs_.reserve(std::min<std::size_t>(expected_pending, 4096));
+    runOrder_.reserve(std::min<std::size_t>(expected_pending, 4096));
 }
 
 } // namespace dapsim

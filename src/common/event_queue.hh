@@ -5,26 +5,49 @@
  * A single EventQueue instance owns simulated time. Components schedule
  * closures at absolute ticks; ties are broken by insertion order so that
  * simulations are fully deterministic.
+ *
+ * Internally the queue is a hierarchical timing wheel (see DESIGN.md
+ * §9): a near-future wheel of power-of-two buckets indexed by tick
+ * quantum, a far-future overflow min-heap that refills the wheel as its
+ * window advances, and a "current run" — the earliest occupied bucket,
+ * swapped out wholesale and drained through a small index array sorted
+ * by (tick, insertion seq). The common case — events clustered on clock
+ * edges within ~1 µs of now — costs O(1) per schedule and amortized
+ * O(log bucket-occupancy) comparisons per dispatch, with no per-event
+ * heap allocation (callbacks are stored inline, see
+ * common/inline_callback.hh) and no per-dispatch bucket scans. Dispatch
+ * order is exactly (tick, insertion seq), bit-identical to a
+ * binary-heap scheduler; tests/test_event_wheel_fuzz.cc enforces this
+ * differentially.
  */
 
 #ifndef DAPSIM_COMMON_EVENT_QUEUE_HH
 #define DAPSIM_COMMON_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/inline_callback.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace dapsim
 {
 
-/** Deterministic priority-queue event scheduler. */
+/** Deterministic O(1) timing-wheel event scheduler. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline small-buffer callback; no heap allocation for captures
+     *  up to kInlineCallbackBytes (pooled slots beyond that). */
+    using Callback = InlineCallback;
+
+    /** Sentinel returned by nextEventTick() when no event is pending.
+     *  Scheduling at this tick is rejected. */
+    static constexpr Tick kNoEvent = ~Tick(0);
 
     /**
      * Observability hook invoked after every dispatched event (see
@@ -42,7 +65,7 @@ class EventQueue
         virtual void onDispatch(Tick now, std::size_t pending) = 0;
     };
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -50,35 +73,142 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of events still pending. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pending_; }
 
     /** Total events executed so far. */
     std::uint64_t executed() const { return executed_; }
+
+    /** High-water mark of pending events (sizing observability). */
+    std::size_t peakPending() const { return peakPending_; }
 
     /**
      * Schedule @p cb at absolute tick @p when.
      * Scheduling in the past is a simulator bug.
      */
-    void schedule(Tick when, Callback cb);
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_) [[unlikely]]
+            panic("EventQueue: scheduling in the past");
+        if (when == kNoEvent) [[unlikely]]
+            panic("EventQueue: event time overflow");
+        if (++pending_ > peakPending_)
+            peakPending_ = pending_;
+
+        const std::uint64_t q = when >> kQuantumBits;
+        if (q > base_) [[likely]] {
+            if (q < base_ + kSlots) [[likely]] {
+                const std::size_t slot =
+                    static_cast<std::size_t>(q) & kSlotMask;
+                Bucket &b = buckets_[slot];
+                if (b.keys.empty())
+                    bucketSorted_[slot] = 1;
+                else if (when < b.keys.back().when)
+                    // Direct pushes carry monotonic seq, so only a
+                    // time step backwards breaks the append order.
+                    bucketSorted_[slot] = 0;
+                b.keys.push_back(Key{when, seq_++});
+                b.cbs.push_back(std::move(cb));
+                occupied_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+            } else {
+                overflow_.emplace_back(when, seq_++, std::move(cb));
+                std::push_heap(overflow_.begin(), overflow_.end(),
+                               heapLater);
+            }
+        } else {
+            // At or before the run's quantum (same-tick events
+            // included): joins the current run at its (when, seq)
+            // position.
+            insertRun(when, seq_++, std::move(cb));
+        }
+    }
 
     /** Schedule @p cb @p delta ticks from now. */
     void scheduleAfter(Tick delta, Callback cb) {
         schedule(now_ + delta, std::move(cb));
     }
 
+    /**
+     * Tick of the earliest pending event, or kNoEvent if none. May
+     * promote the next bucket into the current run (cheap, order-
+     * preserving); simulated time and dispatch order are unaffected.
+     */
+    Tick
+    nextEventTick()
+    {
+        if (runHead_ < runOrder_.size())
+            return runKeys_[runOrder_[runHead_]].when;
+        return nextEventTickSlow();
+    }
+
     /** Execute the single earliest event. @return false if queue empty. */
     bool step();
 
     /** Run until the queue drains or @p limit ticks is reached. */
-    void run(Tick limit = ~Tick(0));
+    void
+    run(Tick limit = kNoEvent)
+    {
+        runUntil([] { return false; }, limit);
+    }
 
-    /** Run until @p done returns true, the queue drains, or @p limit. */
-    void runUntil(const std::function<bool()> &done, Tick limit = ~Tick(0));
+    /**
+     * Run until @p done returns true, the queue drains, or @p limit.
+     * The predicate is a template parameter so hot callers (System's
+     * main loop) pay a direct call, not std::function indirection.
+     */
+    template <class Pred>
+    void
+    runUntil(Pred &&done, Tick limit = kNoEvent)
+    {
+        while (!done()) {
+            const Tick t = nextEventTick();
+            if (t == kNoEvent || t > limit)
+                break;
+            dispatchOne();
+        }
+    }
 
     /** Attach (or clear, with nullptr) the dispatch observability hook. */
     void setDispatchHook(DispatchHook *hook) { hook_ = hook; }
 
+    /**
+     * Pre-size internal storage for an expected steady-state pending
+     * population (e.g. channels x queue depth) so the run loop never
+     * reallocates. Purely an optimisation; growth past the hint works.
+     */
+    void reserve(std::size_t expected_pending);
+
   private:
+    /** log2 of the bucket quantum: 256 ps, one CPU cycle (250 ps) of
+     *  headroom, so same-edge events share a bucket. */
+    static constexpr unsigned kQuantumBits = 8;
+    /** log2 of the wheel slot count: 4096 slots x 256 ps ≈ 1.05 µs of
+     *  near-future horizon (~4.2k CPU cycles). DRAM CAS completions,
+     *  scheduler kicks, ROB wakeups and DAP windows land here; only
+     *  refresh/sampler-period events overflow to the heap. */
+    static constexpr unsigned kSlotBits = 12;
+    static constexpr std::size_t kSlots = std::size_t(1) << kSlotBits;
+    static constexpr std::size_t kSlotMask = kSlots - 1;
+    static constexpr std::size_t kBitmapWords = kSlots / 64;
+    static constexpr std::uint64_t kNoSlot = ~std::uint64_t(0);
+
+    /** (when, seq) dispatch key, kept separate from the callback so
+     *  sorting and binary searches stream over dense 16-byte keys
+     *  instead of striding across 88-byte entries. */
+    struct Key
+    {
+        Tick when;
+        std::uint64_t seq;
+    };
+
+    /** A wheel slot: parallel key/callback arrays in append order. */
+    struct Bucket
+    {
+        std::vector<Key> keys;
+        std::vector<Callback> cbs;
+    };
+
+    /** Far-future overflow entry (heap moves whole entries; cold). */
     struct Entry
     {
         Tick when;
@@ -86,21 +216,127 @@ class EventQueue
         Callback cb;
     };
 
-    struct Later
+    /** Execute the next event; caller has verified one is pending. */
+    void
+    dispatchOne()
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (runHead_ == runOrder_.size())
+            ensureRun();
+        const std::uint32_t idx = runOrder_[runHead_];
+        ++runHead_;
+        now_ = runKeys_[idx].when;
+        // Move out before invoking: the callback may schedule into the
+        // current run and reallocate runCbs_ under its own captures.
+        Callback cb = std::move(runCbs_[idx]);
+        --pending_;
+        ++executed_;
+#if defined(__GNUC__) || defined(__clang__)
+        // Overlap the next callback's cache-line fetch with this
+        // callback's execution; dispatch order is already known.
+        if (runHead_ < runOrder_.size())
+            __builtin_prefetch(&runCbs_[runOrder_[runHead_]]);
+#endif
+        cb();
+        if (hook_ != nullptr) [[unlikely]]
+            hook_->onDispatch(now_, pending_);
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Out-of-line tail of nextEventTick(): the current run is
+     *  drained, so promote the next bucket (or jump to the overflow
+     *  min) before peeking. */
+    Tick nextEventTickSlow();
+
+    /** Make the current run non-empty, promoting the next occupied
+     *  bucket or jumping to the overflow minimum. @return false if no
+     *  event is pending anywhere. */
+    bool ensureRun();
+
+    /** Swap bucket @p quantum in as the new current run and sort its
+     *  dispatch order; advances the window (base_) to @p quantum. */
+    void promote(std::uint64_t quantum);
+
+    /** Sorted insertion into the current run (binary search over the
+     *  undispatched suffix of runOrder_). */
+    void
+    insertRun(Tick when, std::uint64_t seq, Callback &&cb)
+    {
+        const auto idx = static_cast<std::uint32_t>(runKeys_.size());
+        runKeys_.push_back(Key{when, seq});
+        runCbs_.push_back(std::move(cb));
+        const auto pos = std::upper_bound(
+            runOrder_.begin() + static_cast<std::ptrdiff_t>(runHead_),
+            runOrder_.end(), Key{when, seq},
+            [this](const Key &v, std::uint32_t i) {
+                const Key &a = runKeys_[i];
+                if (v.when != a.when)
+                    return v.when < a.when;
+                return v.seq < a.seq;
+            });
+        runOrder_.insert(pos, idx);
+    }
+
+    /** First occupied slot in window order after base_, as an absolute
+     *  quantum index; kNoSlot if the wheel is empty. */
+    std::uint64_t findFirstOccupied() const;
+
+    /** Move overflow-heap entries that now fall inside the wheel
+     *  window [base_, base_ + kSlots) into their buckets (entries at
+     *  or before base_ go straight into the current run). */
+    void refillFromOverflow();
+
+    void pushBucket(std::uint64_t quantum, Entry &&e);
+
+    /** Clear the run's consumed storage, keeping capacity. */
+    void
+    clearRun()
+    {
+        runKeys_.clear();
+        runCbs_.clear();
+        runOrder_.clear();
+        runHead_ = 0;
+    }
+
+    static bool
+    heapLater(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    /** Near-future wheel: bucket per quantum, bitmap for O(1) skip of
+     *  empty slots. Bucket capacity circulates with the run vectors
+     *  via swap, so the steady state allocates nothing. Invariant:
+     *  bucket entries have quantum in (base_, base_ + kSlots) — the
+     *  slot of base_ itself is always empty (its events live in the
+     *  run). */
+    std::vector<Bucket> buckets_;
+    /** Bucket i's append order is already (when, seq) order — true
+     *  whenever events arrive time-sorted (clock-edge clustering), and
+     *  lets promote() skip the sort. Maintained by the push paths. */
+    std::vector<unsigned char> bucketSorted_;
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+    /** Absolute quantum index of the current run (monotonic). */
+    std::uint64_t base_ = 0;
+
+    /** Far-future overflow: std::push_heap/pop_heap min-heap. All
+     *  entries have quantum >= base_ + kSlots. */
+    std::vector<Entry> overflow_;
+
+    /** Current run: every pending event with quantum <= base_, as
+     *  parallel key/callback arrays. Elements stay in place; dispatch
+     *  order is runOrder_[runHead_..], indices sorted by (when, seq).
+     *  Positions before runHead_ are consumed. */
+    std::vector<Key> runKeys_;
+    std::vector<Callback> runCbs_;
+    std::vector<std::uint32_t> runOrder_;
+    std::size_t runHead_ = 0;
+
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t peakPending_ = 0;
     DispatchHook *hook_ = nullptr;
 };
 

@@ -58,8 +58,11 @@ class RobCore
     using Fetcher = std::function<bool(TraceRequest &)>;
 
     /** Issues a memory access to the cache hierarchy; @p done must be
-     *  invoked when a read completes (ignored for writes). */
-    using Issue = std::function<void(Addr, bool, std::function<void()>)>;
+     *  invoked when a read completes (ignored for writes). Bound once
+     *  at construction; the completion itself is an allocation-free
+     *  EventQueue::Callback. */
+    using Issue =
+        std::function<void(Addr, bool, EventQueue::Callback)>;
 
     RobCore(EventQueue &eq, const CoreConfig &cfg, std::uint32_t core_id,
             Fetcher fetch, Issue issue);

@@ -9,12 +9,16 @@ Channel::Channel(EventQueue &eq, const DramConfig &cfg, std::uint32_t index)
     : eq_(eq), cfg_(cfg), index_(index),
       banks_(cfg.ranksPerChannel * cfg.banksPerRank)
 {
+    readDemandQ_.reserve(cfg_.requestQueueReserve);
+    readLowQ_.reserve(cfg_.requestQueueReserve);
+    writeQ_.reserve(std::max<std::uint32_t>(cfg_.requestQueueReserve,
+                                            cfg_.writeQueueHigh + 8));
     if (cfg_.tREFI > 0) {
         // Stagger channels so refreshes don't align system-wide.
         const Tick first = (index + 1) *
                            (cfg_.tREFI * cfg_.periodPs()) /
                            (cfg_.channels + 1);
-        eq_.schedule(first, [this] { refreshTick(); });
+        eq_.schedule(first, EventQueue::Callback::of<&Channel::refreshTick>(this));
     }
 }
 
@@ -25,24 +29,19 @@ Channel::refreshTick()
     for (Bank &b : banks_)
         b.refresh(cfg_, eq_.now());
     eq_.scheduleAfter(cfg_.tREFI * cfg_.periodPs(),
-                      [this] { refreshTick(); });
+                      EventQueue::Callback::of<&Channel::refreshTick>(this));
 }
 
 void
 Channel::enqueue(ChannelRequest req)
 {
     req.enqueuedAt = eq_.now();
-    if (req.isWrite) {
+    if (req.isWrite)
         writeQ_.push_back(std::move(req));
-    } else if (req.lowPriority) {
-        readQ_.push_back(std::move(req));
-    } else {
-        // Demand reads jump ahead of queued low-priority fetches.
-        auto it = readQ_.begin();
-        while (it != readQ_.end() && !it->lowPriority)
-            ++it;
-        readQ_.insert(it, std::move(req));
-    }
+    else if (req.lowPriority)
+        readLowQ_.push_back(std::move(req));
+    else
+        readDemandQ_.push_back(std::move(req));
     scheduleKick(eq_.now());
 }
 
@@ -56,30 +55,36 @@ Channel::scheduleKick(Tick when)
         return;
     kickPending_ = true;
     nextKickAt_ = when;
-    eq_.schedule(when, [this, when] {
-        // A kick superseded by an earlier one (or already consumed) is
-        // stale and must die here, or the event population grows
-        // without bound while a queue is backlogged.
-        if (!kickPending_ || when != nextKickAt_)
-            return;
-        kickPending_ = false;
-        kick();
-    });
+    eq_.schedule(when, EventQueue::Callback::of<&Channel::kickTick>(this));
 }
 
+void
+Channel::kickTick()
+{
+    // A kick superseded by an earlier one (or already consumed) is
+    // stale and must die here, or the event population grows without
+    // bound while a queue is backlogged. The event fires exactly at
+    // its scheduled tick, so now() != nextKickAt_ identifies it.
+    if (!kickPending_ || eq_.now() != nextKickAt_)
+        return;
+    kickPending_ = false;
+    kick();
+}
+
+template <class At>
 std::size_t
-Channel::pick(const std::deque<ChannelRequest> &q) const
+Channel::pickAt(std::size_t len, At &&at) const
 {
     // FR-FCFS flavour: within the scan window, choose the request
     // whose data could start earliest (row hits on ready banks win;
     // requests to backed-up banks lose). Ties resolve to the oldest,
     // which bounds starvation together with the scan depth.
     const std::size_t depth =
-        std::min<std::size_t>(q.size(), cfg_.schedulerScanDepth);
+        std::min<std::size_t>(len, cfg_.schedulerScanDepth);
     std::size_t best = 0;
     Tick best_ready = ~Tick(0);
     for (std::size_t i = 0; i < depth; ++i) {
-        const auto &r = q[i];
+        const ChannelRequest &r = at(i);
         const Bank::Access a =
             banks_[r.bank].peek(cfg_, eq_.now(), r.row);
         if (a.dataReadyAt < best_ready) {
@@ -125,10 +130,10 @@ Channel::maxAhead() const
 }
 
 void
-Channel::issue(std::deque<ChannelRequest> &q, std::size_t idx)
+Channel::issue(RingDeque<ChannelRequest> &q, std::size_t idx)
 {
     ChannelRequest req = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    q.erase(idx);
 
     Bank &bank = banks_[req.bank];
     const Bank::Access acc = bank.reserve(cfg_, eq_.now(), req.row);
@@ -181,7 +186,8 @@ Channel::kick()
     // begin within maxAhead(); beyond that, sleep until the candidate
     // becomes imminent so newly arriving requests can still reorder.
     while (true) {
-        if (readQ_.empty() && writeQ_.empty()) {
+        const std::size_t readLen = readQueueLen();
+        if (readLen == 0 && writeQ_.empty()) {
             kicksEmpty.inc();
             return;
         }
@@ -195,20 +201,27 @@ Channel::kick()
             draining_ = true;
         }
 
-        std::deque<ChannelRequest> *q = nullptr;
-        if (draining_ && !writeQ_.empty())
-            q = &writeQ_;
-        else if (!readQ_.empty())
-            q = &readQ_;
-        else if (!writeQ_.empty())
-            q = &writeQ_; // opportunistic writes when reads are idle
-        if (q == nullptr)
-            return;
+        const bool fromWrites =
+            (draining_ && !writeQ_.empty()) || readLen == 0;
 
-        const std::size_t idx = pick(*q);
-        const ChannelRequest &cand = (*q)[idx];
+        std::size_t idx;
+        const ChannelRequest *cand;
+        if (fromWrites) {
+            idx = pickAt(writeQ_.size(), [this](std::size_t i)
+                             -> const ChannelRequest & {
+                return writeQ_[i];
+            });
+            cand = &writeQ_[idx];
+        } else {
+            idx = pickAt(readLen, [this](std::size_t i)
+                             -> const ChannelRequest & {
+                return readAt(i);
+            });
+            cand = &readAt(idx);
+        }
+
         const Bank::Access a =
-            banks_[cand.bank].peek(cfg_, eq_.now(), cand.row);
+            banks_[cand->bank].peek(cfg_, eq_.now(), cand->row);
         const Tick start =
             placeBus(a.dataReadyAt, cfg_.burstTicks(), false);
         if (start > eq_.now() + maxAhead()) {
@@ -218,14 +231,19 @@ Channel::kick()
         }
 
         kicksIssue.inc();
-        issue(*q, idx);
+        if (fromWrites)
+            issue(writeQ_, idx);
+        else if (idx < readDemandQ_.size())
+            issue(readDemandQ_, idx);
+        else
+            issue(readLowQ_, idx - readDemandQ_.size());
     }
 }
 
 void
 Channel::save(ckpt::Serializer &s) const
 {
-    if (!readQ_.empty() || !writeQ_.empty() || kickPending_)
+    if (readQueueLen() != 0 || !writeQ_.empty() || kickPending_)
         throw ckpt::CkptError(
             "ckpt: DRAM channel not quiescent (requests in flight); "
             "checkpoints must be taken before the timed run");
@@ -260,7 +278,7 @@ Channel::save(ckpt::Serializer &s) const
 void
 Channel::restore(ckpt::Deserializer &d)
 {
-    if (!readQ_.empty() || !writeQ_.empty() || kickPending_)
+    if (readQueueLen() != 0 || !writeQ_.empty() || kickPending_)
         throw ckpt::CkptError(
             "ckpt: cannot restore into a DRAM channel with requests "
             "in flight");

@@ -14,13 +14,12 @@
 #define DAPSIM_DRAM_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "ckpt/serializer.hh"
 #include "common/event_queue.hh"
+#include "common/ring_deque.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/bank.hh"
@@ -40,8 +39,10 @@ struct ChannelRequest
     /** Low-priority reads (footprint prefetch fetches) queue behind
      *  demand reads so fill bursts cannot crowd the critical path. */
     bool lowPriority = false;
-    /** Invoked when the access's data transfer (plus I/O) completes. */
-    std::function<void()> onComplete;
+    /** Invoked when the access's data transfer (plus I/O) completes.
+     *  Move-only (inline storage, see common/inline_callback.hh), so
+     *  ChannelRequest itself is move-only. */
+    EventQueue::Callback onComplete;
     Tick enqueuedAt = 0;
 };
 
@@ -73,7 +74,9 @@ class Channel
   public:
     Channel(EventQueue &eq, const DramConfig &cfg, std::uint32_t index);
 
-    /** Enqueue an access; queues are unbounded (MLP is core-bounded). */
+    /** Enqueue an access; queues are unbounded (MLP is core-bounded).
+     *  O(1): demand and low-priority reads live in separate FIFOs, so
+     *  a demand read never scans past queued prefetch fetches. */
     void enqueue(ChannelRequest req);
 
     /** Attach the bus observability hook; @p source names this DRAM
@@ -85,7 +88,11 @@ class Channel
         traceSource_ = std::move(source);
     }
 
-    std::size_t readQueueLen() const { return readQ_.size(); }
+    std::size_t
+    readQueueLen() const
+    {
+        return readDemandQ_.size() + readLowQ_.size();
+    }
     std::size_t writeQueueLen() const { return writeQ_.size(); }
 
     /** Ticks the data bus has been occupied (for utilization stats). */
@@ -121,8 +128,24 @@ class Channel
     /** Arrange for kick() to run at tick @p when (coalesced). */
     void scheduleKick(Tick when);
 
-    /** Pick the index of the best candidate in @p q (earliest data). */
-    std::size_t pick(const std::deque<ChannelRequest> &q) const;
+    /** Pre-bound kick event body: drops stale (superseded) wakeups. */
+    void kickTick();
+
+    /** The read queue viewed as one sequence: demands, then lows —
+     *  the FR-FCFS scan order (and tie-break order) of a combined
+     *  priority-sorted queue. */
+    const ChannelRequest &
+    readAt(std::size_t i) const
+    {
+        return i < readDemandQ_.size()
+                   ? readDemandQ_[i]
+                   : readLowQ_[i - readDemandQ_.size()];
+    }
+
+    /** Pick the best candidate (earliest data) among the first
+     *  @p len entries of @p at (indexable view). */
+    template <class At>
+    std::size_t pickAt(std::size_t len, At &&at) const;
 
     /**
      * Find the earliest bus slot of length @p occ starting at or after
@@ -131,7 +154,7 @@ class Channel
     Tick placeBus(Tick ready, Tick occ, bool reserve);
 
     /** Issue one request from @p q at position @p idx. */
-    void issue(std::deque<ChannelRequest> &q, std::size_t idx);
+    void issue(RingDeque<ChannelRequest> &q, std::size_t idx);
 
     /** Longest tolerated gap between now and a candidate's data start
      *  before the scheduler goes back to sleep. */
@@ -144,8 +167,9 @@ class Channel
     const DramConfig &cfg_;
     [[maybe_unused]] std::uint32_t index_;
 
-    std::deque<ChannelRequest> readQ_;
-    std::deque<ChannelRequest> writeQ_;
+    RingDeque<ChannelRequest> readDemandQ_;
+    RingDeque<ChannelRequest> readLowQ_;
+    RingDeque<ChannelRequest> writeQ_;
     std::vector<Bank> banks_;
 
     /** Future bus reservations [start, end), sorted by start tick. */

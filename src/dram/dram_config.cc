@@ -5,15 +5,6 @@
 namespace dapsim
 {
 
-Tick
-DramConfig::burstTicks() const
-{
-    // A burst of length BL takes BL/2 command clocks on a DDR bus and
-    // BL clocks on an SDR bus.
-    const std::uint32_t clocks = ddr ? (burstLength + 1) / 2 : burstLength;
-    return static_cast<Tick>(clocks) * periodPs();
-}
-
 std::uint64_t
 DramConfig::burstBytes() const
 {

@@ -63,11 +63,23 @@ struct DramConfig
     /** Bounded FR-FCFS scan depth. */
     std::uint32_t schedulerScanDepth = 32;
 
+    /** Per-channel request-queue capacity to pre-reserve (queues stay
+     *  unbounded; this only sizes the rings so the steady state never
+     *  reallocates). */
+    std::uint32_t requestQueueReserve = 64;
+
     /** Command-clock period in integer picoseconds. */
     Tick periodPs() const { return periodPsFromMHz(freqMHz); }
 
-    /** Data-bus occupancy of one default burst, in ticks. */
-    Tick burstTicks() const;
+    /** Data-bus occupancy of one default burst, in ticks. A burst of
+     *  length BL takes BL/2 command clocks on a DDR bus and BL clocks
+     *  on an SDR bus. Inline: called per FR-FCFS scan step. */
+    Tick
+    burstTicks() const
+    {
+        const std::uint32_t clocks = ddr ? (burstLength + 1) / 2 : burstLength;
+        return static_cast<Tick>(clocks) * periodPs();
+    }
 
     /** Bytes moved by one default burst. */
     std::uint64_t burstBytes() const;

@@ -38,7 +38,7 @@ DramSystem::decode(Addr addr) const
 
 void
 DramSystem::access(Addr addr, bool is_write,
-                   std::function<void()> on_complete,
+                   EventQueue::Callback on_complete,
                    std::uint32_t extra_clocks, bool low_priority)
 {
     const Decoded d = decode(addr);

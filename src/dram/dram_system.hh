@@ -12,7 +12,6 @@
 #define DAPSIM_DRAM_DRAM_SYSTEM_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -38,7 +37,7 @@ class DramSystem
      * @param extra_clocks extra data-bus clocks (Alloy TAD bloat)
      */
     void access(Addr addr, bool is_write,
-                std::function<void()> on_complete = nullptr,
+                EventQueue::Callback on_complete = nullptr,
                 std::uint32_t extra_clocks = 0,
                 bool low_priority = false);
 

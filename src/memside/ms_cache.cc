@@ -18,8 +18,9 @@ MemSideCache::startWindows(Cycle window_cycles)
         return;
     windowsRunning_ = true;
     windowCycles_ = window_cycles;
-    eq_.scheduleAfter(cpuCyclesToTicks(windowCycles_),
-                      [this] { windowTick(); });
+    eq_.scheduleAfter(
+        cpuCyclesToTicks(windowCycles_),
+        EventQueue::Callback::of<&MemSideCache::windowTick>(this));
 }
 
 void
@@ -39,8 +40,9 @@ MemSideCache::windowTick()
         cleanRegion(page);
     for (std::uint64_t set : policy_.collectSetsToFlush())
         flushSetImpl(set);
-    eq_.scheduleAfter(cpuCyclesToTicks(windowCycles_),
-                      [this] { windowTick(); });
+    eq_.scheduleAfter(
+        cpuCyclesToTicks(windowCycles_),
+        EventQueue::Callback::of<&MemSideCache::windowTick>(this));
 }
 
 void

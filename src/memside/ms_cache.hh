@@ -12,7 +12,6 @@
 #define DAPSIM_MEMSIDE_MS_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/event_queue.hh"
 #include "common/stats.hh"
@@ -27,8 +26,9 @@ namespace dapsim
 class MemSideCache
 {
   public:
-    /** Completion callback for reads (writes are posted). */
-    using Done = std::function<void()>;
+    /** Completion callback for reads (writes are posted). Move-only,
+     *  allocation-free for small captures (common/inline_callback.hh). */
+    using Done = EventQueue::Callback;
 
     MemSideCache(EventQueue &eq, DramSystem &main_memory,
                  PartitionPolicy &policy);

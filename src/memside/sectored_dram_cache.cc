@@ -73,7 +73,7 @@ SectoredDramCache::issueMetaWrite(std::uint64_t set)
 
 void
 SectoredDramCache::lookupTags(Addr addr, bool is_read,
-                              std::function<void()> next,
+                              EventQueue::Callback next,
                               std::shared_ptr<SfrmState> sfrm)
 {
     const std::uint64_t set = setOf(sectorNumber(addr));

@@ -140,7 +140,7 @@ class SectoredDramCache final : public MemSideCache
     void issueMetaWrite(std::uint64_t set);
 
     /** Run tag lookup; calls @p next once metadata is available. */
-    void lookupTags(Addr addr, bool is_read, std::function<void()> next,
+    void lookupTags(Addr addr, bool is_read, EventQueue::Callback next,
                     std::shared_ptr<struct SfrmState> sfrm);
 
     /** Write back dirty blocks of a victim sector. */

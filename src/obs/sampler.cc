@@ -82,7 +82,8 @@ Sampler::start(EventQueue &eq, Cycle every, std::ostream &os,
         *os_ << '\n';
     }
 
-    eq_->scheduleAfter(cpuCyclesToTicks(every_), [this] { tick(); });
+    eq_->scheduleAfter(cpuCyclesToTicks(every_),
+                       EventQueue::Callback::of<&Sampler::tick>(this));
 }
 
 void
@@ -92,7 +93,8 @@ Sampler::tick()
         return;
     writeRow();
     ++samples_;
-    eq_->scheduleAfter(cpuCyclesToTicks(every_), [this] { tick(); });
+    eq_->scheduleAfter(cpuCyclesToTicks(every_),
+                       EventQueue::Callback::of<&Sampler::tick>(this));
 }
 
 void

@@ -14,7 +14,6 @@
 #define DAPSIM_SIM_L3_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "cache/assoc_cache.hh"
 #include "common/event_queue.hh"
@@ -43,7 +42,7 @@ struct L3Config
 class L3Cache
 {
   public:
-    using Done = std::function<void()>;
+    using Done = EventQueue::Callback;
 
     L3Cache(EventQueue &eq, const L3Config &cfg, MemSideCache &ms);
 

@@ -80,6 +80,14 @@ System::System(const SystemConfig &cfg,
     if (gens_.size() != cfg_.numCores)
         fatal("System: need one generator per core");
 
+    // Steady-state pending events are bounded by outstanding reads
+    // (cores x MSHRs), plus per-channel kicks/refreshes and the
+    // window/sampler ticks; pre-size the scheduler so the run loop
+    // never grows its arrays.
+    eq_.reserve(static_cast<std::size_t>(cfg_.numCores) *
+                    cfg_.core.maxOutstanding +
+                64);
+
     mm_ = std::make_unique<DramSystem>(eq_, cfg_.mainMemory);
     deriveDapConfig();
     buildPolicy();
@@ -93,7 +101,7 @@ System::System(const SystemConfig &cfg,
         StridePrefetcher *pf = prefetchers_.back().get();
         auto fetch = [gen](TraceRequest &out) { return gen->next(out); };
         auto issue = [this, pf](Addr a, bool w,
-                                std::function<void()> done) {
+                                EventQueue::Callback done) {
             if (!w) {
                 // Demand reads train the stride prefetcher; prefetches
                 // are injected into the L3 as non-blocking reads.
@@ -380,6 +388,7 @@ System::dumpStats(std::ostream &os)
     os << "sim.ticks " << elapsed << '\n';
     os << "sim.cycles " << elapsed / kCpuPeriodPs << '\n';
     os << "sim.events " << eq_.executed() << '\n';
+    os << "sim.eventsPeakPending " << eq_.peakPending() << '\n';
 
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
         RobCore &c = *cores_[i];

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reference event queue: the original binary-heap scheduler.
+ *
+ * This is the pre-timing-wheel `EventQueue` implementation, frozen
+ * verbatim as the behavioural oracle for the kernel rewrite. The
+ * differential fuzz test (test_event_wheel_fuzz.cc) replays randomized
+ * schedule sequences through this heap and the production wheel and
+ * asserts bit-identical dispatch order; bench/kernel_events.cpp uses
+ * it as the "before" side of the kernel microbenchmarks.
+ *
+ * Do not optimise or otherwise modify this type: its value is that it
+ * implements the dispatch-order contract (ascending tick, insertion
+ * seq on ties) in the most obviously correct way.
+ */
+
+#ifndef DAPSIM_TESTS_REFERENCE_EVENT_QUEUE_HH
+#define DAPSIM_TESTS_REFERENCE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dapsim
+{
+
+/** Deterministic priority-queue event scheduler (reference). */
+class RefEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    RefEventQueue() = default;
+    RefEventQueue(const RefEventQueue &) = delete;
+    RefEventQueue &operator=(const RefEventQueue &) = delete;
+
+    Tick now() const { return now_; }
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+    /** Peek-only earliest pending tick (~Tick(0) when empty); added
+     *  for API parity with the production queue, no state change. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? ~Tick(0) : heap_.top().when;
+    }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_)
+            panic("RefEventQueue: scheduling in the past");
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    void
+    scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        auto &top = const_cast<Entry &>(heap_.top());
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        heap_.pop();
+        ++executed_;
+        cb();
+        return true;
+    }
+
+    void
+    run(Tick limit = ~Tick(0))
+    {
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            if (!step())
+                break;
+        }
+    }
+
+    void
+    runUntil(const std::function<bool()> &done, Tick limit = ~Tick(0))
+    {
+        while (!done() && !heap_.empty() && heap_.top().when <= limit) {
+            if (!step())
+                break;
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dapsim
+
+#endif // DAPSIM_TESTS_REFERENCE_EVENT_QUEUE_HH

@@ -129,6 +129,50 @@ TEST(ChannelBehavior, BankParallelismBeatsSingleBankConflicts)
     EXPECT_LT(run(true) * 2, run(false));
 }
 
+TEST(ChannelBehavior, DemandReadsJumpAheadOfLowPriority)
+{
+    // A backlog of low-priority (prefetch-fill) reads must not delay a
+    // later demand read: demands always scan ahead of queued lows.
+    EventQueue eq;
+    DramConfig cfg = presets::ddr4_2400();
+    cfg.channels = 1;
+    cfg.schedulerScanDepth = 1; // pure FIFO visit order per class
+    DramSystem mem(eq, cfg);
+
+    // Everything in one row of one bank (consecutive blocks), so bus
+    // placement cannot reorder across banks: completion order is
+    // exactly issue order, which isolates the queue-visit order.
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        mem.access(static_cast<Addr>(i) * kBlockBytes, false,
+                   [&order, i] { order.push_back(100 + i); }, 0,
+                   /*low_priority=*/true);
+    mem.access(16 * kBlockBytes, false, [&order] { order.push_back(0); });
+    eq.run();
+
+    ASSERT_EQ(order.size(), 17u);
+    // The demand completes first even though it arrived last...
+    EXPECT_EQ(order.front(), 0);
+    // ...and the low-priority FIFO order is preserved behind it.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], 100 + i);
+}
+
+TEST(ChannelBehavior, LowPriorityStillDrainsWhenNoDemands)
+{
+    EventQueue eq;
+    DramConfig cfg = presets::ddr4_2400();
+    cfg.channels = 1;
+    DramSystem mem(eq, cfg);
+    int done = 0;
+    for (int i = 0; i < 8; ++i)
+        mem.access(static_cast<Addr>(i) * kBlockBytes, false,
+                   [&done] { ++done; }, 0, /*low_priority=*/true);
+    eq.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(mem.totalReadQueue(), 0u);
+}
+
 TEST(ChannelBehavior, QueueLengthVisibleWhileBacklogged)
 {
     EventQueue eq;

@@ -31,7 +31,7 @@ class CoreHarness
                 script.pop();
                 return true;
             },
-            [this](Addr, bool is_write, std::function<void()> done) {
+            [this](Addr, bool is_write, EventQueue::Callback done) {
                 if (is_write)
                     return;
                 ++reads;
@@ -121,10 +121,10 @@ TEST(RobCore, MshrBoundLimitsOutstanding)
             out = TraceRequest{0, false, 1};
             return issued++ < 500;
         },
-        [&](Addr, bool, std::function<void()> done) {
+        [&](Addr, bool, EventQueue::Callback done) {
             ++outstanding;
             max_outstanding = std::max(max_outstanding, outstanding);
-            eq.scheduleAfter(1000, [&outstanding, done] {
+            eq.scheduleAfter(1000, [&outstanding, done = std::move(done)] {
                 --outstanding;
                 done();
             });
@@ -146,7 +146,7 @@ TEST(RobCore, WritesDontBlockRetirement)
             out = TraceRequest{0, true, 50};
             return true;
         },
-        [&](Addr, bool is_write, std::function<void()>) {
+        [&](Addr, bool is_write, EventQueue::Callback) {
             if (is_write)
                 ++writes;
         });
@@ -199,7 +199,7 @@ TEST(RobCoreDeathTest, ZeroResourcesAreFatal)
     cfg.retireWidth = 0;
     EXPECT_DEATH(RobCore(eq, cfg, 0,
                          [](TraceRequest &) { return false; },
-                         [](Addr, bool, std::function<void()>) {}),
+                         [](Addr, bool, EventQueue::Callback) {}),
                  "zero");
 }
 
