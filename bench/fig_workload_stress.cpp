@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Workload-engine stress sweep: DAP vs SBD/BATMAN/BEAR outside the
+ * SPEC-style comfort zone.
+ *
+ * Part 1 sweeps Zipf skew x phase drift (single-tenant rate-8): skew
+ * moves the hit-ratio operating point the partitioning policies see,
+ * drift invalidates their learned state every period. Part 2 scales
+ * tenant count with adversarial co-runners (streaming flood,
+ * pointer-chase, write-burst, sparse strides) composed by the mix
+ * engine. Both report weighted speedup over the optimized baseline;
+ * the reproduction target is the *shape*: DAP's margin should survive
+ * skew and drift and widen under bandwidth-hostile co-runners, where
+ * hit-rate-maximizing policies overload the scarce source.
+ *
+ * Every policy of a scenario forks from one shared functional warm-up
+ * (see exp/sweep_runner.hh), so the grid costs one warm-up per row.
+ */
+
+#include "bench_util.hh"
+#include "workload/compose.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+namespace
+{
+
+constexpr PolicyKind kPolicies[] = {PolicyKind::Baseline,
+                                    PolicyKind::Dap, PolicyKind::Sbd,
+                                    PolicyKind::Batman,
+                                    PolicyKind::Bear};
+constexpr std::size_t kNumPolicies =
+    sizeof(kPolicies) / sizeof(kPolicies[0]);
+
+/** One named scenario: a spec composed onto the 8-core system. */
+struct Scenario
+{
+    const char *label;
+    const char *spec;
+};
+
+const Scenario kSkewDriftGrid[] = {
+    {"skew0.7", "zipf:skew=0.7,fp=16M"},
+    {"skew0.99", "zipf:skew=0.99,fp=16M"},
+    {"skew1.3", "zipf:skew=1.3,fp=16M"},
+    {"skew0.7+rotate", "zipf:skew=0.7,fp=16M,drift=rotate,period=50000"},
+    {"skew0.99+rotate",
+     "zipf:skew=0.99,fp=16M,drift=rotate,period=50000"},
+    {"skew1.3+rotate", "zipf:skew=1.3,fp=16M,drift=rotate,period=50000"},
+    {"skew0.7+jump", "zipf:skew=0.7,fp=16M,drift=jump,period=50000"},
+    {"skew0.99+jump", "zipf:skew=0.99,fp=16M,drift=jump,period=50000"},
+    {"skew1.3+jump", "zipf:skew=1.3,fp=16M,drift=jump,period=50000"},
+};
+
+const Scenario kTenantGrid[] = {
+    {"tenants1", "zipf:skew=0.99,fp=16M"},
+    {"tenants2", "mix:t0=zipf,t0.skew=0.99,t0.fp=16M,t0.cores=4,"
+                 "t1=flood,t1.fp=8M,t1.mpki=40"},
+    {"tenants4", "mix:t0=zipf,t0.skew=0.99,t0.fp=16M,t0.cores=2,"
+                 "t1=flood,t1.fp=8M,t1.mpki=40,t1.cores=2,"
+                 "t2=chase,t2.fp=8M,t2.cores=2,"
+                 "t3=wburst,t3.fp=8M,t3.cores=2"},
+    {"tenants8", "mix:t0=zipf,t0.skew=0.99,t0.fp=16M,"
+                 "t1=zipf,t1.skew=1.2,t1.fp=8M,t1.drift=jump,"
+                 "t1.period=50000,"
+                 "t2=hotspot,t2.hot=0.05,t2.fp=8M,"
+                 "t3=flood,t3.fp=8M,t3.mpki=40,"
+                 "t4=chase,t4.fp=8M,"
+                 "t5=wburst,t5.fp=8M,"
+                 "t6=sparse,t6.fp=8M,"
+                 "t7=wburst,t7.fp=4M,t7.burst=32,t7.duty=0.6"},
+};
+
+/** Queue every policy of every scenario; returns first job indices. */
+template <std::size_t N>
+std::vector<std::size_t>
+queueGrid(exp::SweepRunner &runner, const SystemConfig &cfg,
+          const Scenario (&grid)[N], std::uint64_t instr)
+{
+    std::vector<std::size_t> first;
+    for (const auto &s : grid) {
+        const Mix mix = workload::composeWorkload(s.spec, 8).mix;
+        first.push_back(
+            queuePolicy(runner, cfg, kPolicies[0], mix, instr));
+        for (std::size_t p = 1; p < kNumPolicies; ++p)
+            queuePolicy(runner, cfg, kPolicies[p], mix, instr);
+    }
+    return first;
+}
+
+/** Print one speedup-over-baseline table for a queued grid. */
+template <std::size_t N>
+void
+printGrid(const std::vector<exp::JobResult> &results,
+          const Scenario (&grid)[N],
+          const std::vector<std::size_t> &first, const char *header)
+{
+    SpeedupTable table(header);
+    for (std::size_t i = 0; i < N; ++i) {
+        const RunResult &base = require(results[first[i]]);
+        std::vector<double> row;
+        for (std::size_t p = 1; p < kNumPolicies; ++p)
+            row.push_back(
+                speedup(require(results[first[i] + p]), base));
+        table.row(grid[i].label, row);
+    }
+    table.finish("GMEAN");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Workload-engine stress sweep",
+           "DAP vs SBD/BATMAN/BEAR under Zipf skew, phase drift and "
+           "adversarial multi-tenant mixes (sectored DRAM cache, "
+           "8 cores)");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem8();
+
+    exp::SweepRunner runner;
+    runner.setWarmupFork(true, "");
+    const auto skew_first = queueGrid(runner, cfg, kSkewDriftGrid, instr);
+    const auto tenant_first = queueGrid(runner, cfg, kTenantGrid, instr);
+    const auto results = runner.run(benchJobs(argc, argv));
+
+    std::printf("\n-- Zipf skew x phase drift (speedup over "
+                "baseline) --\n");
+    printGrid(results, kSkewDriftGrid, skew_first,
+              "       dap        sbd     batman       bear");
+    std::printf("\n-- tenant count with adversarial co-runners --\n");
+    printGrid(results, kTenantGrid, tenant_first,
+              "       dap        sbd     batman       bear");
+    return 0;
+}

@@ -110,6 +110,10 @@ describeMix(const Mix &mix)
     s.u64(mix.apps.size());
     for (const WorkloadProfile &w : mix.apps) {
         s.str(w.name);
+        // Workload-engine profiles are fully described by their spec
+        // string (empty for classic profiles); the SyntheticParams
+        // block below is then inert but kept for a stable layout.
+        s.str(w.spec);
         const SyntheticParams &p = w.params;
         s.u64(p.footprintBytes);
         s.f64(p.hotFraction);

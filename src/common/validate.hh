@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared range-check helpers for user-facing configuration dials.
+ *
+ * Both the classic SyntheticParams profiles and the workload-engine
+ * spec parser (src/workload/spec.cc) funnel their numeric dials through
+ * these checks so an out-of-range value produces the same clear
+ * fatal() everywhere instead of silently generating nonsense traffic.
+ * All checks are written as !(v in range) so NaN is rejected too.
+ */
+
+#ifndef DAPSIM_COMMON_VALIDATE_HH
+#define DAPSIM_COMMON_VALIDATE_HH
+
+#include <string>
+
+#include "common/log.hh"
+
+namespace dapsim
+{
+
+/** Probability / fraction dial: must lie within [0, 1]. */
+inline double
+checkUnitInterval(const std::string &what, double v)
+{
+    if (!(v >= 0.0 && v <= 1.0))
+        fatal(what + " must be within [0, 1], got " + std::to_string(v));
+    return v;
+}
+
+/** Strictly positive dial (skew exponents, rates). */
+inline double
+checkPositive(const std::string &what, double v)
+{
+    if (!(v > 0.0))
+        fatal(what + " must be > 0, got " + std::to_string(v));
+    return v;
+}
+
+/** Dial with an inclusive lower bound (e.g. runLength >= 1). */
+inline double
+checkAtLeast(const std::string &what, double v, double lo)
+{
+    if (!(v >= lo))
+        fatal(what + " must be >= " + std::to_string(lo) + ", got " +
+              std::to_string(v));
+    return v;
+}
+
+/**
+ * MPKI dial: must be in (0, 1000]. One memory access per instruction
+ * is the physical ceiling (gap >= 1), so anything above 1000 silently
+ * degenerates — reject it instead.
+ */
+inline double
+checkMpki(const std::string &what, double v)
+{
+    if (!(v > 0.0 && v <= 1000.0))
+        fatal(what + " must be within (0, 1000], got " +
+              std::to_string(v));
+    return v;
+}
+
+/** Integer dial with an inclusive lower bound. */
+inline std::uint64_t
+checkCountAtLeast(const std::string &what, std::uint64_t v,
+                  std::uint64_t lo)
+{
+    if (v < lo)
+        fatal(what + " must be >= " + std::to_string(lo) + ", got " +
+              std::to_string(v));
+    return v;
+}
+
+} // namespace dapsim
+
+#endif // DAPSIM_COMMON_VALIDATE_HH

@@ -65,6 +65,13 @@ DapTrace::onWindow(const DapWindowRecord &rec)
     w.key("wt").value(rec.wtApplied - prev_.wtApplied);
     w.endObject();
 
+    if (!probes_.empty()) {
+        w.key("tenants").beginObject();
+        for (const auto &p : probes_)
+            w.key(p.first.c_str()).value(p.second());
+        w.endObject();
+    }
+
     w.endObject();
     os_ << w.str() << '\n';
 

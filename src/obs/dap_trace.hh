@@ -15,7 +15,11 @@
 #define DAPSIM_OBS_DAP_TRACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/event_queue.hh"
 #include "dap/dap_controller.hh"
@@ -40,6 +44,18 @@ class DapTrace final : public DapTraceSink
 
     void onWindow(const DapWindowRecord &rec) override;
 
+    /**
+     * Attach a named probe sampled at every window boundary. Probe
+     * values land in a per-record "tenants" object — the workload
+     * engine registers per-tenant read/write totals here so DAP
+     * decisions can be attributed to the tenant driving them.
+     */
+    void
+    addProbe(std::string name, std::function<std::uint64_t()> fn)
+    {
+        probes_.emplace_back(std::move(name), std::move(fn));
+    }
+
     /** Window records written so far. */
     std::uint64_t windows() const { return windows_; }
 
@@ -48,6 +64,8 @@ class DapTrace final : public DapTraceSink
     std::ostream &os_;
     std::uint64_t windows_ = 0;
     DapWindowRecord prev_{}; ///< previous cumulative applied counts
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
+        probes_;
 };
 
 } // namespace dapsim::obs

@@ -13,6 +13,7 @@
 #define DAPSIM_OBS_OBS_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -42,6 +43,16 @@ struct ObsConfig
 
     /** Chrome trace_event JSON output path (empty = off). */
     std::string chromeTrace;
+
+    /**
+     * Tenant name per core (from the workload MixComposer; empty =
+     * no attribution). When set, the stats dump gains tenant.* rows,
+     * the sampler gains per-tenant traffic columns, and the DAP
+     * decision trace annotates each window with per-tenant read/write
+     * totals. Like the rest of ObsConfig this is excluded from
+     * checkpoint state hashing and never alters simulated behaviour.
+     */
+    std::vector<std::string> coreTenants;
 
     bool samplingEnabled() const { return sampleEvery > 0; }
 

@@ -247,6 +247,28 @@ System::setupObservability()
         if (DapPolicy *dap = dapPolicy())
             dap->setTraceSink(obs_->dapTrace());
 
+    // Per-tenant traffic attribution (workload MixComposer runs).
+    const auto tenants = tenantViews();
+    if (obs_->dapTrace()) {
+        for (const auto &t : tenants) {
+            const auto &members = t.second;
+            obs_->dapTrace()->addProbe(t.first + ".reads", [this,
+                                                            members] {
+                std::uint64_t sum = 0;
+                for (std::uint32_t i : members)
+                    sum += cores_[i]->readsIssued.value();
+                return sum;
+            });
+            obs_->dapTrace()->addProbe(t.first + ".writes", [this,
+                                                             members] {
+                std::uint64_t sum = 0;
+                for (std::uint32_t i : members)
+                    sum += cores_[i]->writesIssued.value();
+                return sum;
+            });
+        }
+    }
+
     if (!cfg_.obs.samplingEnabled())
         return;
     obs::Sampler &smp = obs_->sampler();
@@ -323,6 +345,56 @@ System::setupObservability()
     smp.addColumn("mainMemory.rowMisses", [this] {
         return static_cast<double>(mm_->rowMisses());
     });
+
+    for (const auto &t : tenants) {
+        const auto &members = t.second;
+        smp.addColumn("tenant." + t.first + ".reads", [this, members] {
+            double sum = 0.0;
+            for (std::uint32_t i : members)
+                sum += static_cast<double>(
+                    cores_[i]->readsIssued.value());
+            return sum;
+        });
+        smp.addColumn("tenant." + t.first + ".writes", [this, members] {
+            double sum = 0.0;
+            for (std::uint32_t i : members)
+                sum += static_cast<double>(
+                    cores_[i]->writesIssued.value());
+            return sum;
+        });
+        smp.addColumn("tenant." + t.first + ".ipc", [this, members] {
+            double sum = 0.0;
+            const Tick now = eq_.now();
+            for (std::uint32_t i : members) {
+                const RobCore &c = *cores_[i];
+                sum += c.finished() ? c.finishIpc() : c.ipcAt(now);
+            }
+            return sum;
+        });
+    }
+}
+
+std::vector<std::pair<std::string, std::vector<std::uint32_t>>>
+System::tenantViews() const
+{
+    std::vector<std::pair<std::string, std::vector<std::uint32_t>>> v;
+    const auto &ct = cfg_.obs.coreTenants;
+    if (ct.empty())
+        return v;
+    if (ct.size() != cfg_.numCores)
+        fatal("obs: coreTenants has " + std::to_string(ct.size()) +
+              " entries for " + std::to_string(cfg_.numCores) +
+              " cores");
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        auto it = std::find_if(v.begin(), v.end(), [&](const auto &t) {
+            return t.first == ct[i];
+        });
+        if (it == v.end())
+            v.push_back({ct[i], {i}});
+        else
+            it->second.push_back(i);
+    }
+    return v;
 }
 
 bool
@@ -399,6 +471,24 @@ System::dumpStats(std::ostream &os)
         os << n << ".writes " << c.writesIssued.value() << '\n';
         os << n << ".meanReadLatencyNs "
            << c.readLatency.mean() / 1000.0 << '\n';
+    }
+
+    // Per-tenant aggregates (only for MixComposer-attributed runs, so
+    // classic runs keep their exact historical row set).
+    for (const auto &t : tenantViews()) {
+        const std::string n = "tenant." + t.first;
+        double ipc = 0.0;
+        std::uint64_t reads = 0, writes = 0;
+        for (std::uint32_t i : t.second) {
+            const RobCore &c = *cores_[i];
+            ipc += c.finished() ? c.finishIpc() : c.ipcAt(elapsed);
+            reads += c.readsIssued.value();
+            writes += c.writesIssued.value();
+        }
+        os << n << ".cores " << t.second.size() << '\n';
+        os << n << ".ipc " << ipc << '\n';
+        os << n << ".reads " << reads << '\n';
+        os << n << ".writes " << writes << '\n';
     }
 
     os << "l3.hits " << l3_->hits.value() << '\n';

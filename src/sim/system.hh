@@ -172,6 +172,11 @@ class System
     /** Build and attach the obs bundle selected by cfg_.obs. */
     void setupObservability();
 
+    /** Tenant name -> member core indices, from obs.coreTenants
+     *  (first-seen order; empty when attribution is off). */
+    std::vector<std::pair<std::string, std::vector<std::uint32_t>>>
+    tenantViews() const;
+
     SystemConfig cfg_;
     EventQueue eq_;
     std::unique_ptr<DramSystem> mm_;

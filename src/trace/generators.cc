@@ -3,15 +3,30 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/validate.hh"
 
 namespace dapsim
 {
 
+void
+SyntheticParams::validate() const
+{
+    if (footprintBytes < kBlockBytes)
+        fatal("SyntheticParams: footprintBytes must be at least " +
+              std::to_string(kBlockBytes) + ", got " +
+              std::to_string(footprintBytes));
+    checkUnitInterval("SyntheticParams: hotFraction", hotFraction);
+    checkUnitInterval("SyntheticParams: hotProbability", hotProbability);
+    checkUnitInterval("SyntheticParams: streamFraction", streamFraction);
+    checkUnitInterval("SyntheticParams: writeFraction", writeFraction);
+    checkAtLeast("SyntheticParams: runLength", runLength, 1.0);
+    checkMpki("SyntheticParams: mpki", mpki);
+}
+
 SyntheticGenerator::SyntheticGenerator(const SyntheticParams &p)
     : p_(p), rng_(p.seed), streamPtr_(0)
 {
-    if (p_.footprintBytes < kBlockBytes)
-        fatal("SyntheticGenerator: footprint too small");
+    p_.validate();
     blocks_ = p_.footprintBytes / kBlockBytes;
     hotBlocks_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(

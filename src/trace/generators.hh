@@ -53,6 +53,9 @@ struct SyntheticParams
     Addr base = 0;
 
     std::uint64_t seed = 1;
+
+    /** fatal() unless every dial is in range (see common/validate.hh). */
+    void validate() const;
 };
 
 /** The workhorse generator. */

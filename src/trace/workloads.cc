@@ -1,6 +1,8 @@
 #include "trace/workloads.hh"
 
 #include "common/log.hh"
+#include "workload/spec.hh"
+#include "workload/spec_names.hh"
 
 namespace dapsim
 {
@@ -108,13 +110,27 @@ workloadByName(const std::string &name)
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    fatal("unknown workload: " + name);
+    std::string profiles;
+    for (const auto &w : allWorkloads())
+        profiles += " " + w.name;
+    std::string kinds;
+    for (const char *k : workload::kSpecKinds)
+        kinds += std::string(" ") + k;
+    fatal("unknown workload: " + name + "\n  profiles:" + profiles +
+          "\n  engine specs:" + kinds +
+          "  (e.g. zipf:skew=0.99,fp=64M — see trace_gen --list)");
 }
 
 AccessGeneratorPtr
 makeGenerator(const WorkloadProfile &profile, std::uint32_t core_id,
               std::uint64_t seed_salt)
 {
+    // Workload-engine profiles carry a spec string instead of a
+    // SyntheticParams block; the engine applies the same per-core
+    // slice/seed policy.
+    if (!profile.spec.empty())
+        return workload::makeSpecGenerator(profile.spec, core_id,
+                                           seed_salt);
     SyntheticParams p = profile.params;
     // Private 1 TB address slice per core; unrelated seed per core.
     p.base = static_cast<Addr>(core_id) << 40;

@@ -29,6 +29,13 @@ struct WorkloadProfile
     std::string name;
     SyntheticParams params;
     bool bandwidthSensitive = true;
+
+    /**
+     * Non-empty for workload-engine profiles: the declarative spec
+     * ("zipf:skew=0.99,...") this core runs instead of @ref params.
+     * See src/workload/spec.hh; makeGenerator() dispatches on it.
+     */
+    std::string spec;
 };
 
 /** All 17 profiles, bandwidth-sensitive first (12), then insensitive (5). */

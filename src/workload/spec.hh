@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Declarative workload-spec grammar for the workload engine.
+ *
+ * A spec is `kind` or `kind:key=value,key=value,...`:
+ *
+ *     zipf:skew=0.99,fp=64M,drift=rotate,period=100000
+ *     hotspot:hot=0.05,p=0.9,drift=jump
+ *     flood:fp=128M,mpki=200
+ *     mix:t0=zipf,t0.skew=0.99,t0.cores=4,t1=flood,t1.cores=4
+ *
+ * Size values accept K/M/G suffixes (KiB multiples). Malformed specs
+ * — unknown kind, unknown parameter, out-of-range value — die with a
+ * fatal() naming the offending key and the valid choices, so bad
+ * configurations are rejected before any sweep job is submitted.
+ * Every numeric dial funnels through common/validate.hh, shared with
+ * the classic SyntheticParams validation.
+ */
+
+#ifndef DAPSIM_WORKLOAD_SPEC_HH
+#define DAPSIM_WORKLOAD_SPEC_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/access_gen.hh"
+
+namespace dapsim::workload
+{
+
+/** A spec split into its kind and ordered key=value pairs. */
+struct ParsedSpec
+{
+    std::string kind;
+    std::vector<std::pair<std::string, std::string>> kv;
+};
+
+/** Parse @p text; fatal() on syntax errors or an unknown kind. */
+ParsedSpec parseSpec(const std::string &text);
+
+/** True if @p text names a spec kind (bare or with ':' params). */
+bool looksLikeSpec(const std::string &text);
+
+/**
+ * Validate a non-mix spec's parameters without building the generator
+ * (no CDF tables). fatal() on any unknown key or out-of-range value.
+ */
+void validateSpec(const std::string &text);
+
+/**
+ * Build the generator for one core running @p spec (non-mix kinds).
+ * Applies the same per-core address-slice and seed-derivation policy
+ * as the classic trace makeGenerator: base = core_id << 40, seed
+ * folded with core_id and @p seed_salt.
+ */
+AccessGeneratorPtr makeSpecGenerator(const std::string &spec,
+                                     std::uint32_t core_id,
+                                     std::uint64_t seed_salt = 0);
+
+/** One parameter in a kind's schema (for --list output). */
+struct SpecParamInfo
+{
+    const char *key;
+    const char *help;
+};
+
+/** One spec kind's schema. */
+struct SpecInfo
+{
+    const char *kind;
+    const char *help;
+    std::vector<SpecParamInfo> params;
+};
+
+/** Schemas for every spec kind, in kSpecKinds order. */
+const std::vector<SpecInfo> &specInfos();
+
+} // namespace dapsim::workload
+
+#endif // DAPSIM_WORKLOAD_SPEC_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The workload-engine spec kinds, as a dependency-free name list.
+ *
+ * Single source of truth for "which spec kinds exist". Included both
+ * by the engine itself (src/workload/spec.cc builds the schemas from
+ * it) and by src/trace/workloads.cc, whose unknown-workload error
+ * enumerates these alongside the classic profile names without
+ * needing a link-time dependency on the engine.
+ */
+
+#ifndef DAPSIM_WORKLOAD_SPEC_NAMES_HH
+#define DAPSIM_WORKLOAD_SPEC_NAMES_HH
+
+#include <cstddef>
+
+namespace dapsim::workload
+{
+
+/** Every spec kind the engine can parse ("zipf" in "zipf:skew=..."). */
+inline constexpr const char *kSpecKinds[] = {
+    "zipf",    // Zipf-ranked key popularity over the footprint
+    "hotspot", // hot region + cold tail, drift-capable
+    "flood",   // streaming read flood (bandwidth hog)
+    "chase",   // dependent pointer chase, zero spatial locality
+    "wburst",  // alternating write bursts / read phases
+    "sparse",  // sector-hostile sparse stride
+    "mix",     // multi-tenant composition of the above + classic profiles
+};
+
+inline constexpr std::size_t kNumSpecKinds =
+    sizeof(kSpecKinds) / sizeof(kSpecKinds[0]);
+
+} // namespace dapsim::workload
+
+#endif // DAPSIM_WORKLOAD_SPEC_NAMES_HH

@@ -1,0 +1,80 @@
+#include "workload/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dapsim::workload
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew)
+{
+    if (n == 0)
+        fatal("ZipfSampler: need at least one key");
+    if (!(skew > 0.0))
+        fatal("ZipfSampler: skew must be > 0, got " +
+              std::to_string(skew));
+    const std::uint64_t ranks = std::min(n, kMaxRanks);
+    cdf_.resize(ranks);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < ranks; ++i) {
+        acc += std::pow(static_cast<double>(i + 1), -skew);
+        cdf_[i] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+    cdf_.back() = 1.0; // guard against rounding at the tail
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.real();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::uint64_t>(it - cdf_.begin());
+    return idx < cdf_.size() ? idx : cdf_.size() - 1;
+}
+
+double
+ZipfSampler::probability(std::uint64_t rank) const
+{
+    return cdf_[rank] - (rank ? cdf_[rank - 1] : 0.0);
+}
+
+BlockPermutation::BlockPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n)
+{
+    if (n_ == 0)
+        fatal("BlockPermutation: empty domain");
+    // Smallest balanced Feistel domain 2^(2*halfBits) covering n.
+    std::uint32_t bits = 1;
+    while (bits < 63 && (1ULL << bits) < n_)
+        ++bits;
+    halfBits_ = (bits + 1) / 2;
+    halfMask_ = (1ULL << halfBits_) - 1;
+    std::uint64_t z = seed;
+    for (auto &k : keys_)
+        k = mix64(z += 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t
+BlockPermutation::apply(std::uint64_t x) const
+{
+    // Cycle-walk: the Feistel net permutes [0, 2^(2*halfBits)); values
+    // landing outside [0, n) are re-encrypted until they fall inside.
+    // Expected < 4 rounds of walking since the domain is < 4x n.
+    do {
+        std::uint64_t l = x >> halfBits_;
+        std::uint64_t r = x & halfMask_;
+        for (const std::uint64_t key : keys_) {
+            const std::uint64_t t = r;
+            r = l ^ (mix64(r ^ key) & halfMask_);
+            l = t;
+        }
+        x = (l << halfBits_) | r;
+    } while (x >= n_);
+    return x;
+}
+
+} // namespace dapsim::workload

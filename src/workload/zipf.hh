@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Key-distribution sampling utilities for the workload engine.
+ *
+ * ZipfSampler draws ranks from a Zipf(s) popularity law using a
+ * precomputed CDF and binary search — the compact table idiom used by
+ * key-value store simulators. The table is capped at 2^20 ranks; a
+ * footprint with more blocks than that maps each rank onto a
+ * contiguous span of blocks (see ZipfGenerator).
+ *
+ * BlockPermutation is a seed-deterministic bijection on [0, n) built
+ * from a four-round Feistel network with cycle-walking. The engine
+ * uses it to scramble popularity ranks across the address space (so
+ * the hot keys are not the low addresses) and to drive the
+ * pointer-chase kernel through a full-cycle pseudorandom tour.
+ */
+
+#ifndef DAPSIM_WORKLOAD_ZIPF_HH
+#define DAPSIM_WORKLOAD_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dapsim::workload
+{
+
+/** SplitMix64 finalizer; the engine's stateless hash primitive. */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Zipf(s) rank sampler over min(n, 2^20) ranks, precomputed CDF. */
+class ZipfSampler
+{
+  public:
+    /** Table size cap; beyond this, ranks fan out over block spans. */
+    static constexpr std::uint64_t kMaxRanks = 1ULL << 20;
+
+    /**
+     * @param n number of keys (ranks clamp to min(n, kMaxRanks))
+     * @param skew Zipf exponent s > 0 (0.99 ~ YCSB, higher = hotter)
+     */
+    ZipfSampler(std::uint64_t n, double skew);
+
+    std::uint64_t ranks() const { return cdf_.size(); }
+
+    /** Draw a rank in [0, ranks()); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Analytic probability mass of @p rank (for tests). */
+    double probability(std::uint64_t rank) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/** Seed-deterministic bijection on [0, n); stateless after build. */
+class BlockPermutation
+{
+  public:
+    BlockPermutation(std::uint64_t n, std::uint64_t seed);
+
+    std::uint64_t n() const { return n_; }
+
+    /** Map @p x in [0, n) to its permuted image in [0, n). */
+    std::uint64_t apply(std::uint64_t x) const;
+
+  private:
+    std::uint64_t n_;
+    std::uint32_t halfBits_;
+    std::uint64_t halfMask_;
+    std::uint64_t keys_[4];
+};
+
+} // namespace dapsim::workload
+
+#endif // DAPSIM_WORKLOAD_ZIPF_HH

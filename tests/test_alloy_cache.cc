@@ -184,8 +184,9 @@ TEST_F(AlloyCacheTest, IfrmOnAbsentLineBypassesFill)
     read(probe);
     // Whether IFRM applied depends on the DBC knowing that set; if it
     // did, no fill happened.
-    if (cache().forcedReadMisses.value() > 0)
+    if (cache().forcedReadMisses.value() > 0) {
         EXPECT_EQ(cache().fills.value(), fills);
+    }
 }
 
 TEST_F(AlloyCacheTest, BearBypassPreventsFill)

@@ -33,6 +33,7 @@
 
 #include "sim/presets.hh"
 #include "sim/runner.hh"
+#include "workload/compose.hh"
 
 namespace dapsim
 {
@@ -68,6 +69,34 @@ runScenario(MsArch arch)
     std::vector<AccessGeneratorPtr> gens;
     for (std::uint32_t i = 0; i < cfg.numCores; ++i)
         gens.push_back(makeGenerator(w, i));
+    System sys(cfg, std::move(gens));
+    sys.warmup(cfg.warmupAccessesPerCore);
+    sys.run();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+/** The workload-engine pinned scenario: a drifting Zipf spec on the
+ *  sectored architecture under DAP. Freezes the whole engine pipeline
+ *  — spec parsing, CDF tables, Feistel permutation, drift schedule and
+ *  the per-core seed fold — in addition to the simulator proper. */
+std::string
+runZipfDriftScenario()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.sectored.capacityBytes = 8 * kMiB;
+    cfg.policy = PolicyKind::Dap;
+    cfg.core.instructions = 3'000;
+    cfg.warmupAccessesPerCore = 5'000;
+
+    const workload::ComposedMix cm = workload::composeWorkload(
+        "zipf:skew=0.99,fp=512K,drift=rotate,period=20000,mpki=30",
+        cfg.numCores);
+    cfg.obs.coreTenants = cm.coreTenants;
+    std::vector<AccessGeneratorPtr> gens;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+        gens.push_back(makeGenerator(cm.mix.apps[i], i));
     System sys(cfg, std::move(gens));
     sys.warmup(cfg.warmupAccessesPerCore);
     sys.run();
@@ -124,9 +153,8 @@ expectValueMatch(const Row &want, const Row &got)
 }
 
 void
-checkGolden(const std::string &name, MsArch arch)
+checkGolden(const std::string &name, const std::string &dump)
 {
-    const std::string dump = runScenario(arch);
     const std::string path = goldenPath(name);
 
     if (g_update) {
@@ -154,9 +182,22 @@ checkGolden(const std::string &name, MsArch arch)
     }
 }
 
-TEST(GoldenRuns, SectoredDap) { checkGolden("sectored", MsArch::Sectored); }
-TEST(GoldenRuns, AlloyDap) { checkGolden("alloy", MsArch::Alloy); }
-TEST(GoldenRuns, EdramDap) { checkGolden("edram", MsArch::Edram); }
+TEST(GoldenRuns, SectoredDap)
+{
+    checkGolden("sectored", runScenario(MsArch::Sectored));
+}
+TEST(GoldenRuns, AlloyDap)
+{
+    checkGolden("alloy", runScenario(MsArch::Alloy));
+}
+TEST(GoldenRuns, EdramDap)
+{
+    checkGolden("edram", runScenario(MsArch::Edram));
+}
+TEST(GoldenRuns, ZipfDriftDap)
+{
+    checkGolden("zipf_drift", runZipfDriftScenario());
+}
 
 } // namespace
 } // namespace dapsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * System-level determinism of workload-engine runs: identical metrics
+ * for any --jobs value, and bit-identical results when the shared
+ * warm-up is forked from a checkpoint (the warm-up advances every
+ * generator deep into its drift schedule, so the fork exercises the
+ * mid-phase save/restore path end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep_runner.hh"
+#include "sim/presets.hh"
+#include "workload/compose.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig cfg = presets::sectoredSystem8();
+    cfg.numCores = 4;
+    cfg.sectored.capacityBytes = 2 * kMiB;
+    cfg.sectored.tagCache.entries = 128;
+    // Deep enough to cross several drift phase boundaries below.
+    cfg.warmupAccessesPerCore = 5'000;
+    return cfg;
+}
+
+/** Two engine workloads: a drifting zipf and a two-tenant mix. */
+std::vector<Mix>
+engineMixes()
+{
+    return {
+        workload::composeWorkload(
+            "zipf:skew=0.99,fp=1M,drift=rotate,period=2000,mpki=30", 4)
+            .mix,
+        workload::composeWorkload(
+            "mix:t0=zipf,t0.skew=1.1,t0.fp=1M,t0.drift=jump,"
+            "t0.period=1500,t0.cores=2,t1=wburst,t1.fp=512K", 4)
+            .mix,
+    };
+}
+
+std::vector<exp::JobResult>
+runGrid(std::size_t threads, bool fork)
+{
+    exp::SweepRunner runner;
+    runner.addGrid(tinySystem(), engineMixes(),
+                   {PolicyKind::Baseline, PolicyKind::Dap}, 2'000);
+    if (fork)
+        runner.setWarmupFork(true, "");
+    auto results = runner.run(threads);
+    EXPECT_EQ(results.size(), 4u);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.error;
+    return results;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.mixName, b.mixName);
+    EXPECT_EQ(a.policyName, b.policyName);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.msHitRatio, b.msHitRatio);
+    EXPECT_EQ(a.mmCasFraction, b.mmCasFraction);
+    EXPECT_EQ(a.avgL3ReadMissLatency, b.avgL3ReadMissLatency);
+    EXPECT_EQ(a.fwb, b.fwb);
+    EXPECT_EQ(a.wb, b.wb);
+    EXPECT_EQ(a.ifrm, b.ifrm);
+    EXPECT_EQ(a.sfrm, b.sfrm);
+}
+
+TEST(WorkloadSweep, MetricsIdenticalAcrossJobCounts)
+{
+    const auto serial = runGrid(1, false);
+    const auto parallel = runGrid(4, false);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i].result, parallel[i].result);
+}
+
+TEST(WorkloadSweep, WarmupForkBitIdentical)
+{
+    const auto direct = runGrid(1, false);
+    const auto forked = runGrid(4, true);
+    ASSERT_EQ(direct.size(), forked.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        expectIdentical(direct[i].result, forked[i].result);
+}
+
+} // namespace
+} // namespace dapsim

@@ -25,6 +25,8 @@
 #include "sim/runner.hh"
 #include "trace/mixes.hh"
 #include "trace/trace_file.hh"
+#include "workload/compose.hh"
+#include "workload/spec.hh"
 
 using namespace dapsim;
 
@@ -57,7 +59,10 @@ usage()
         "usage: dapsim [options]\n"
         "  --arch sectored|alloy|edram|none   MS$ architecture\n"
         "  --policy baseline|dap|sbd|sbd-wt|batman|bear\n"
-        "  --workload NAME      synthetic profile (see --list)\n"
+        "  --workload NAME      synthetic profile or workload-engine\n"
+        "                       spec, e.g. zipf:skew=0.99,fp=64M or\n"
+        "                       mix:t0=zipf,t0.cores=4,t1=flood\n"
+        "                       (see --list)\n"
         "  --trace FILE         drive every core from a trace file\n"
         "  --cores N            core count (default 8)\n"
         "  --instr N            instructions per core (default 120000)\n"
@@ -183,11 +188,19 @@ main(int argc, char **argv)
         else if (a == "--stats")
             opt.stats = true;
         else if (a == "--list") {
+            std::printf("profiles:\n");
             for (const auto &w : allWorkloads())
-                std::printf("%-18s %s\n", w.name.c_str(),
+                std::printf("  %-18s %s\n", w.name.c_str(),
                             w.bandwidthSensitive
                                 ? "bandwidth-sensitive"
                                 : "bandwidth-insensitive");
+            std::printf("workload-engine specs "
+                        "(kind:key=value,...):\n");
+            for (const auto &info : workload::specInfos()) {
+                std::printf("  %-18s %s\n", info.kind, info.help);
+                for (const auto &p : info.params)
+                    std::printf("    %-16s %s\n", p.key, p.help);
+            }
             return 0;
         } else {
             usage();
@@ -212,12 +225,16 @@ main(int argc, char **argv)
             gens.push_back(std::make_unique<TraceFileGenerator>(
                 opt.trace, static_cast<Addr>(i) << 40));
     } else {
-        const WorkloadProfile &w = workloadByName(opt.workload);
-        const Mix mix = rateMix(w, cfg.numCores);
-        mix_name = mix.name;
-        stream_desc = ckpt::describeMix(mix);
+        const workload::ComposedMix cm =
+            workload::composeWorkload(opt.workload, cfg.numCores);
+        mix_name = cm.mix.name;
+        stream_desc = ckpt::describeMix(cm.mix);
+        // Tenant attribution only for engine specs; classic profile
+        // runs keep their exact historical stats row set.
+        if (workload::looksLikeSpec(opt.workload))
+            cfg.obs.coreTenants = cm.coreTenants;
         for (std::uint32_t i = 0; i < cfg.numCores; ++i)
-            gens.push_back(makeGenerator(w, i, opt.seed));
+            gens.push_back(makeGenerator(cm.mix.apps[i], i, opt.seed));
     }
 
     // Both hashes come from the PRE-construction configuration (the

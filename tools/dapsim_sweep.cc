@@ -29,6 +29,8 @@
 #include "exp/result_sink.hh"
 #include "exp/sweep_runner.hh"
 #include "sim/presets.hh"
+#include "workload/compose.hh"
+#include "workload/spec.hh"
 
 using namespace dapsim;
 
@@ -71,9 +73,13 @@ usage()
         " default sectored)\n"
         "  --policy LIST        baseline|dap|sbd|sbd-wt|batman|bear\n"
         "                       (default baseline,dap)\n"
-        "  --workload LIST      profile names, or all|sensitive|"
-        "insensitive\n"
-        "                       (default sensitive)\n"
+        "  --workload LIST      profile names, all|sensitive|"
+        "insensitive, or\n"
+        "                       workload-engine specs "
+        "(zipf:skew=0.99,fp=64M);\n"
+        "                       a list element containing '=' continues"
+        " the\n"
+        "                       previous spec (default sensitive)\n"
         "  --capacity-mb LIST   MS$ capacities to sweep (default: "
         "preset)\n"
         "  --cores N            cores per system (default 8)\n"
@@ -136,21 +142,55 @@ splitList(const std::string &s)
     return out;
 }
 
-/** A grid workload: a resolved profile, or an unknown name kept so
- *  its grid points surface as error records instead of killing the
- *  whole sweep. */
+/**
+ * Split a --workload list. Workload-engine specs contain commas
+ * themselves (zipf:skew=0.99,fp=64M), so after the plain comma split
+ * any token that is a key=value continuation — it has an '=' before
+ * any ':' — is folded back into the preceding element. Classic
+ * profile names never contain '=', so their behaviour is unchanged:
+ *
+ *   "mcf,zipf:skew=0.99,fp=64M,flood" ->
+ *       ["mcf", "zipf:skew=0.99,fp=64M", "flood"]
+ */
+std::vector<std::string>
+splitWorkloadList(const std::string &s)
+{
+    std::vector<std::string> out;
+    for (const auto &tok : splitList(s)) {
+        const std::size_t eq = tok.find('=');
+        const std::size_t colon = tok.find(':');
+        const bool continuation =
+            eq != std::string::npos &&
+            (colon == std::string::npos || eq < colon);
+        if (continuation && !out.empty())
+            out.back() += "," + tok;
+        else if (continuation)
+            fatal("--workload: '" + tok +
+                  "' continues a spec but no spec precedes it");
+        else
+            out.push_back(tok);
+    }
+    return out;
+}
+
+/** A grid workload: a resolved profile, a composed workload-engine
+ *  spec, or an unknown name kept so its grid points surface as error
+ *  records instead of killing the whole sweep. */
 struct GridWorkload
 {
     WorkloadProfile profile;
     bool known = true;
+    bool isSpec = false;
+    workload::ComposedMix composed; ///< when isSpec
 };
 
 std::vector<GridWorkload>
-resolveWorkloads(const std::vector<std::string> &names)
+resolveWorkloads(const std::vector<std::string> &names,
+                 std::uint32_t cores)
 {
     std::vector<GridWorkload> out;
     auto push = [&out](const WorkloadProfile &w) {
-        out.push_back({w, true});
+        out.push_back({w, true, false, {}});
     };
     for (const auto &name : names) {
         if (name == "all") {
@@ -171,10 +211,19 @@ resolveWorkloads(const std::vector<std::string> &names)
                     break;
                 }
             }
-            if (!found) {
+            if (found)
+                continue;
+            if (workload::looksLikeSpec(name)) {
+                // Malformed specs fatal() here, before any job runs.
+                GridWorkload gw;
+                gw.known = true;
+                gw.isSpec = true;
+                gw.composed = workload::composeWorkload(name, cores);
+                out.push_back(std::move(gw));
+            } else {
                 WorkloadProfile unknown;
                 unknown.name = name;
-                out.push_back({unknown, false});
+                out.push_back({unknown, false, false, {}});
             }
         }
     }
@@ -242,7 +291,7 @@ main(int argc, char **argv)
         else if (a == "--policy")
             opt.policies = splitList(value());
         else if (a == "--workload")
-            opt.workloads = splitList(value());
+            opt.workloads = splitWorkloadList(value());
         else if (a == "--capacity-mb") {
             opt.capacitiesMb.clear();
             for (const auto &c : splitList(value()))
@@ -283,11 +332,19 @@ main(int argc, char **argv)
         else if (a == "--quiet")
             opt.quiet = true;
         else if (a == "--list") {
+            std::printf("profiles:\n");
             for (const auto &w : allWorkloads())
-                std::printf("%-18s %s\n", w.name.c_str(),
+                std::printf("  %-18s %s\n", w.name.c_str(),
                             w.bandwidthSensitive
                                 ? "bandwidth-sensitive"
                                 : "bandwidth-insensitive");
+            std::printf("workload-engine specs "
+                        "(kind:key=value,...):\n");
+            for (const auto &info : workload::specInfos()) {
+                std::printf("  %-18s %s\n", info.kind, info.help);
+                for (const auto &p : info.params)
+                    std::printf("    %-16s %s\n", p.key, p.help);
+            }
             return 0;
         } else {
             usage();
@@ -312,7 +369,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<GridWorkload> workloads =
-        resolveWorkloads(opt.workloads);
+        resolveWorkloads(opt.workloads, opt.cores);
 
     exp::SweepRunner runner;
     for (const auto &arch : opt.archs) {
@@ -330,7 +387,11 @@ main(int argc, char **argv)
                     if (cap)
                         spec.knobs["capacity_mb"] =
                             std::to_string(cap);
-                    if (gw.known) {
+                    if (gw.isSpec) {
+                        spec.mix = gw.composed.mix;
+                        spec.cfg.obs.coreTenants =
+                            gw.composed.coreTenants;
+                    } else if (gw.known) {
                         spec.mix = rateMix(gw.profile, opt.cores);
                     } else {
                         spec.mix.name = gw.profile.name;
