@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tiered-memory sweep: DAP-n vs the two-source policies when a third
+ * bandwidth source (a CXL/RDMA-style remote pool) backs the DDR tier.
+ *
+ * Part 1 sweeps the remote pool's bandwidth (DDR/S for S in
+ * {2,4,8,16}) at a fixed 120 ns latency adder; part 2 sweeps the
+ * latency adder ({60,120,240,480} ns) at the default DDR/4 bandwidth.
+ * Each x-value runs a classic SPEC-style profile and a workload-engine
+ * Zipf spec under baseline/dap/sbd/batman/bear and reports weighted
+ * speedup over the optimized baseline. The reproduction target is the
+ * shape: DAP-n's margin should grow with remote bandwidth (more
+ * spare capacity for Eq 4 to claim) and shrink gracefully as the
+ * latency adder climbs, while the hit-rate-maximizing policies leave
+ * the third source idle.
+ *
+ * Every policy of a scenario forks from one shared functional warm-up
+ * (see exp/sweep_runner.hh), so the grid costs one warm-up per row.
+ */
+
+#include "bench_util.hh"
+#include "workload/compose.hh"
+
+using namespace dapsim;
+using namespace dapsim::bench;
+
+namespace
+{
+
+constexpr PolicyKind kPolicies[] = {PolicyKind::Baseline,
+                                    PolicyKind::Dap, PolicyKind::Sbd,
+                                    PolicyKind::Batman,
+                                    PolicyKind::Bear};
+constexpr std::size_t kNumPolicies =
+    sizeof(kPolicies) / sizeof(kPolicies[0]);
+
+/** One tiered scenario: a remote configuration on the 8-core system. */
+struct Scenario
+{
+    const char *label;
+    double bwScale;
+    double latencyNs;
+};
+
+const Scenario kBandwidthGrid[] = {
+    {"ddr/2", 2.0, 120.0},
+    {"ddr/4", 4.0, 120.0},
+    {"ddr/8", 8.0, 120.0},
+    {"ddr/16", 16.0, 120.0},
+};
+
+const Scenario kLatencyGrid[] = {
+    {"60ns", 4.0, 60.0},
+    {"120ns", 4.0, 120.0},
+    {"240ns", 4.0, 240.0},
+    {"480ns", 4.0, 480.0},
+};
+
+/** The two workloads every scenario runs: one classic profile and one
+ *  workload-engine spec. */
+struct Stream
+{
+    const char *label;
+    const char *spec;
+};
+
+const Stream kStreams[] = {
+    {"hpcg", "hpcg"},
+    {"zipf0.99", "zipf:skew=0.99,fp=16M"},
+};
+constexpr std::size_t kNumStreams =
+    sizeof(kStreams) / sizeof(kStreams[0]);
+
+/** Queue every policy of every (scenario, stream); returns the first
+ *  job index of each row in row-major (scenario, stream) order. */
+template <std::size_t N>
+std::vector<std::size_t>
+queueGrid(exp::SweepRunner &runner, const SystemConfig &base,
+          const Scenario (&grid)[N], std::uint64_t instr)
+{
+    std::vector<std::size_t> first;
+    for (const auto &s : grid) {
+        SystemConfig cfg = base;
+        cfg.remote.enabled = true;
+        cfg.remote.bwScaleFactor = s.bwScale;
+        cfg.remote.addLatencyNs = s.latencyNs;
+        for (const auto &st : kStreams) {
+            const Mix mix = workload::composeWorkload(st.spec, 8).mix;
+            first.push_back(
+                queuePolicy(runner, cfg, kPolicies[0], mix, instr));
+            for (std::size_t p = 1; p < kNumPolicies; ++p)
+                queuePolicy(runner, cfg, kPolicies[p], mix, instr);
+        }
+    }
+    return first;
+}
+
+/** Print one speedup-over-baseline table for a queued grid. */
+template <std::size_t N>
+void
+printGrid(const std::vector<exp::JobResult> &results,
+          const Scenario (&grid)[N],
+          const std::vector<std::size_t> &first, const char *header)
+{
+    SpeedupTable table(header);
+    for (std::size_t i = 0; i < N; ++i) {
+        for (std::size_t s = 0; s < kNumStreams; ++s) {
+            const std::size_t row = i * kNumStreams + s;
+            const RunResult &base = require(results[first[row]]);
+            std::vector<double> vals;
+            for (std::size_t p = 1; p < kNumPolicies; ++p)
+                vals.push_back(
+                    speedup(require(results[first[row] + p]), base));
+            table.row(std::string(grid[i].label) + "/" +
+                          kStreams[s].label,
+                      vals);
+        }
+    }
+    table.finish("GMEAN");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Tiered-memory sweep (remote third source)",
+           "DAP-n vs SBD/BATMAN/BEAR with a remote bandwidth tier: "
+           "remote-bandwidth and remote-latency sweeps (sectored DRAM "
+           "cache, 8 cores)");
+    const std::uint64_t instr = benchInstructions();
+    const SystemConfig cfg = presets::sectoredSystem8();
+
+    exp::SweepRunner runner;
+    runner.setWarmupFork(true, "");
+    const auto bw_first = queueGrid(runner, cfg, kBandwidthGrid, instr);
+    const auto lat_first = queueGrid(runner, cfg, kLatencyGrid, instr);
+    const auto results = runner.run(benchJobs(argc, argv));
+
+    std::printf("\n-- remote bandwidth sweep, 120 ns adder (speedup "
+                "over baseline) --\n");
+    printGrid(results, kBandwidthGrid, bw_first,
+              "       dap        sbd     batman       bear");
+    std::printf("\n-- remote latency sweep, DDR/4 bandwidth --\n");
+    printGrid(results, kLatencyGrid, lat_first,
+              "       dap        sbd     batman       bear");
+    return 0;
+}

@@ -200,6 +200,16 @@ stateHash(const SystemConfig &cfg, const std::string &stream_desc,
 
     putDram(s, cfg.mainMemory);
 
+    // Appended only when enabled so 2-tier hashes stay stable across
+    // the remote-tier introduction (and a tiered restore into a 2-tier
+    // config — or vice versa — is refused by the hash check).
+    if (cfg.remote.enabled) {
+        s.boolean(true);
+        s.f64(cfg.remote.bwScaleFactor);
+        s.f64(cfg.remote.addLatencyNs);
+        s.u32(cfg.remote.maxOutstanding);
+    }
+
     s.boolean(cfg.prefetch.enabled);
     s.u32(cfg.prefetch.streams);
     s.u32(cfg.prefetch.degree);

@@ -262,6 +262,17 @@ class Deserializer
     std::size_t remaining() const { return size_ - pos_; }
     bool atEnd() const { return pos_ == size_; }
 
+    /** Unconsumed bytes of the innermost open section — lets a reader
+     *  probe for optional trailing fields a newer writer appends. */
+    std::size_t
+    sectionRemaining() const
+    {
+        if (sectionEnd_.empty())
+            throw CkptError(
+                "ckpt: sectionRemaining outside any section");
+        return sectionEnd_.back() - pos_;
+    }
+
   private:
     void
     need(std::uint64_t n) const

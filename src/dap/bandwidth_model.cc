@@ -33,6 +33,8 @@ optimalFractions(const std::vector<double> &bandwidths)
 {
     const double total =
         std::accumulate(bandwidths.begin(), bandwidths.end(), 0.0);
+    if (bandwidths.empty() || total <= 0.0)
+        fatal("bwmodel: total bandwidth must be positive");
     std::vector<double> f;
     f.reserve(bandwidths.size());
     for (double b : bandwidths)

@@ -31,13 +31,27 @@ DapConfig::mmAccessesPerWindow() const
                    static_cast<double>(windowCycles)));
 }
 
+std::int64_t
+DapConfig::remoteAccessesPerWindow() const
+{
+    return static_cast<std::int64_t>(
+        std::floor(efficiency * remotePeakAccPerCycle *
+                   static_cast<double>(windowCycles)));
+}
+
 FixedRatio
 DapConfig::ratioK() const
 {
     if (msPeakAccPerCycle <= 0.0 || mmPeakAccPerCycle <= 0.0)
         fatal("DapConfig: bandwidths must be set before use");
-    return FixedRatio::quantize(msPeakAccPerCycle / mmPeakAccPerCycle,
-                                kShift);
+    if (remotePeakAccPerCycle < 0.0)
+        fatal("DapConfig: remote bandwidth must be non-negative");
+    // DAP-n: the MS$ is partitioned against the combined lower level;
+    // how that lower level splits between DDR and remote is solved
+    // separately (dap::solveRemoteSplit). With no remote tier this is
+    // exactly the paper's K = B_MS$ / B_MM.
+    const double lower = mmPeakAccPerCycle + remotePeakAccPerCycle;
+    return FixedRatio::quantize(msPeakAccPerCycle / lower, kShift);
 }
 
 DapPolicy::DapPolicy(const DapConfig &cfg) : cfg_(cfg), k_(cfg.ratioK())
@@ -50,6 +64,11 @@ void
 DapPolicy::beginWindow(const WindowCounters &prev)
 {
     windowsTotal.inc();
+    // The solvers see the combined lower level (DDR + remote, when
+    // present) as "main memory"; b_lower_w degenerates to B_MM·W·E
+    // without a remote tier.
+    const std::int64_t b_lower_w =
+        cfg_.mmAccessesPerWindow() + cfg_.remoteAccessesPerWindow();
     switch (cfg_.arch) {
       case DapConfig::Arch::Sectored: {
         dap::SectoredInput in;
@@ -59,7 +78,7 @@ DapPolicy::beginWindow(const WindowCounters &prev)
         in.writes = static_cast<std::int64_t>(prev.writes);
         in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
         in.bMsW = cfg_.msAccessesPerWindow();
-        in.bMmW = cfg_.mmAccessesPerWindow();
+        in.bMmW = b_lower_w;
         targets_ = dap::solveSectored(in, k_, cfg_.sfrmFactor,
                                       cfg_.targetCap);
         break;
@@ -70,7 +89,7 @@ DapPolicy::beginWindow(const WindowCounters &prev)
         in.aMm = static_cast<std::int64_t>(prev.aMm);
         in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
         in.bMsW = cfg_.msAccessesPerWindow();
-        in.bMmW = cfg_.mmAccessesPerWindow();
+        in.bMmW = b_lower_w;
         targets_ = dap::solveAlloy(in, k_, cfg_.sfrmFactor,
                                    cfg_.targetCap);
         break;
@@ -85,7 +104,7 @@ DapPolicy::beginWindow(const WindowCounters &prev)
         in.cleanHits = static_cast<std::int64_t>(prev.cleanHits);
         in.bMsReadW = cfg_.msAccessesPerWindow();
         in.bMsWriteW = cfg_.msWriteAccessesPerWindow();
-        in.bMmW = cfg_.mmAccessesPerWindow();
+        in.bMmW = b_lower_w;
         targets_ = dap::solveEdram(in, k_, cfg_.targetCap);
         break;
       }
@@ -99,6 +118,15 @@ DapPolicy::beginWindow(const WindowCounters &prev)
     load(ifrmCredits_, cfg_.enableIfrm ? targets_.nIfrm : 0);
     load(sfrmCredits_, cfg_.enableSfrm ? targets_.nSfrm : 0);
     load(wtCredits_, targets_.nWriteThrough);
+
+    if (cfg_.remoteEnabled()) {
+        // DAP-n: route the remote pool its Eq 4 share of last window's
+        // lower-tier demand via a credit window of its own.
+        targets_.nRemote = dap::solveRemoteSplit(
+            static_cast<std::int64_t>(prev.aMm),
+            cfg_.mmAccessesPerWindow(), cfg_.remoteAccessesPerWindow());
+        load(remoteCredits_, targets_.nRemote);
+    }
 
     if (trace_) {
         DapWindowRecord rec;
@@ -115,6 +143,11 @@ DapPolicy::beginWindow(const WindowCounters &prev)
         rec.ifrmApplied = ifrmApplied.value();
         rec.sfrmApplied = sfrmApplied.value();
         rec.wtApplied = writeThroughApplied.value();
+        if (cfg_.remoteEnabled()) {
+            rec.remoteEnabled = true;
+            rec.remoteCredits = remoteCredits_;
+            rec.remoteApplied = remoteApplied.value();
+        }
         trace_->onWindow(rec);
     }
 }
@@ -170,6 +203,15 @@ DapPolicy::shouldWriteThrough(Addr)
     return true;
 }
 
+bool
+DapPolicy::shouldRouteToRemote(Addr)
+{
+    if (!cfg_.remoteEnabled() || !consume(remoteCredits_))
+        return false;
+    remoteApplied.inc();
+    return true;
+}
+
 void
 DapPolicy::save(ckpt::Serializer &s) const
 {
@@ -191,6 +233,13 @@ DapPolicy::save(ckpt::Serializer &s) const
     s.u64(writeThroughApplied.value());
     s.u64(windowsPartitioned.value());
     s.u64(windowsTotal.value());
+    // Appended only in DAP-n mode so 2-tier checkpoints keep their
+    // exact historical byte layout.
+    if (cfg_.remoteEnabled()) {
+        s.i64(targets_.nRemote);
+        s.i64(remoteCredits_);
+        s.u64(remoteApplied.value());
+    }
 }
 
 void
@@ -214,6 +263,11 @@ DapPolicy::restore(ckpt::Deserializer &d)
     writeThroughApplied.set(d.u64());
     windowsPartitioned.set(d.u64());
     windowsTotal.set(d.u64());
+    if (cfg_.remoteEnabled()) {
+        targets_.nRemote = d.i64();
+        remoteCredits_ = d.i64();
+        remoteApplied.set(d.u64());
+    }
 }
 
 } // namespace dapsim

@@ -53,6 +53,15 @@ struct DapConfig
     /** Peak main-memory bandwidth in accesses per CPU cycle. */
     double mmPeakAccPerCycle = 0.0;
 
+    /**
+     * Peak remote-tier bandwidth in accesses per CPU cycle. Zero means
+     * no remote tier; a positive value switches the solver into DAP-n
+     * mode, where K compares the MS$ against the combined lower level
+     * (B_MM + B_remote) and a per-window remote credit window routes
+     * the remote pool its Eq 4 share of lower-tier traffic.
+     */
+    double remotePeakAccPerCycle = 0.0;
+
     /** Headroom factor for SFRM / Alloy write-through (paper: 0.8). */
     double sfrmFactor = 0.8;
 
@@ -85,7 +94,14 @@ struct DapConfig
     std::int64_t msWriteAccessesPerWindow() const;
     std::int64_t mmAccessesPerWindow() const;
 
-    /** The hardware rational K = B_MS$ / B_MM. */
+    /** Serviceable remote accesses per window (0 without a remote
+     *  tier): floor(E · B_remote · W). */
+    std::int64_t remoteAccessesPerWindow() const;
+
+    bool remoteEnabled() const { return remotePeakAccPerCycle > 0.0; }
+
+    /** The hardware rational K = B_MS$ / B_lower, where the lower
+     *  level is B_MM alone (2-source) or B_MM + B_remote (DAP-n). */
     FixedRatio ratioK() const;
 };
 
@@ -113,6 +129,11 @@ struct DapWindowRecord
     std::uint64_t ifrmApplied = 0;
     std::uint64_t sfrmApplied = 0;
     std::uint64_t wtApplied = 0;
+    /** DAP-n remote routing (only populated — and only emitted by the
+     *  trace — when the config has a remote tier). */
+    bool remoteEnabled = false;
+    std::int64_t remoteCredits = 0;
+    std::uint64_t remoteApplied = 0;
 };
 
 /** Consumer of per-window DAP decision records. */
@@ -134,6 +155,7 @@ class DapPolicy final : public PartitionPolicy
     bool shouldForceReadMiss(Addr) override;
     bool shouldSpeculateToMemory(Addr) override;
     bool shouldWriteThrough(Addr) override;
+    bool shouldRouteToRemote(Addr) override;
     const char *name() const override { return "dap"; }
 
     const DapConfig &config() const { return cfg_; }
@@ -146,6 +168,7 @@ class DapPolicy final : public PartitionPolicy
     std::int64_t ifrmCredits() const { return ifrmCredits_; }
     std::int64_t sfrmCredits() const { return sfrmCredits_; }
     std::int64_t wtCredits() const { return wtCredits_; }
+    std::int64_t remoteCredits() const { return remoteCredits_; }
 
     /** Attach (or clear) the per-window decision tracer. Costs one
      *  branch per window when null. */
@@ -160,6 +183,7 @@ class DapPolicy final : public PartitionPolicy
     Counter ifrmApplied;
     Counter sfrmApplied;
     Counter writeThroughApplied;
+    Counter remoteApplied; ///< DAP-n accesses routed to the remote tier
     Counter windowsPartitioned;
     Counter windowsTotal;
 
@@ -192,6 +216,7 @@ class DapPolicy final : public PartitionPolicy
     std::int64_t ifrmCredits_ = 0;
     std::int64_t sfrmCredits_ = 0;
     std::int64_t wtCredits_ = 0;
+    std::int64_t remoteCredits_ = 0;
 };
 
 } // namespace dapsim

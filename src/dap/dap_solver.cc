@@ -181,4 +181,19 @@ solveEdram(const EdramInput &in, const FixedRatio &k,
     return t;
 }
 
+std::int64_t
+solveRemoteSplit(std::int64_t a_lower, std::int64_t b_mm_w,
+                 std::int64_t b_remote_w)
+{
+    if (a_lower <= 0 || b_remote_w <= 0)
+        return 0;
+    if (b_mm_w <= 0)
+        return std::min(a_lower, b_remote_w);
+    // Eq 4 inside the lower tier: f_remote = B_rem / (B_MM + B_rem),
+    // so N_remote = A_lower · B_rem / (B_MM + B_rem) (rounded down),
+    // never more than the remote link can actually serve this window.
+    const std::int64_t n = a_lower * b_remote_w / (b_mm_w + b_remote_w);
+    return std::min(n, b_remote_w);
+}
+
 } // namespace dapsim::dap

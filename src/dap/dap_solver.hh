@@ -30,6 +30,7 @@ struct Targets
     std::int64_t nIfrm = 0;  ///< informed forced read misses
     std::int64_t nSfrm = 0;  ///< speculative forced read misses
     std::int64_t nWriteThrough = 0; ///< Alloy opportunistic write-through
+    std::int64_t nRemote = 0; ///< DAP-n: lower-tier accesses to remote
     bool active = false;     ///< partitioning invoked this window
 };
 
@@ -90,6 +91,18 @@ struct EdramInput
 /** eDRAM solver (Section IV-C, cases i/ii/iii, Equations 9-12). */
 Targets solveEdram(const EdramInput &in, const FixedRatio &k,
                    std::int64_t target_cap = 63);
+
+/**
+ * DAP-n lower-tier split (the n-source Eq 4 applied inside the lower
+ * tier): of @p a_lower accesses bound for the combined DDR + remote
+ * level, route the remote pool its bandwidth-proportional share
+ * a_lower · B_remote / (B_MM + B_remote), capped at the remote link's
+ * per-window service capacity @p b_remote_w. Pure integer arithmetic;
+ * returns 0 when either operand is degenerate (no remote bandwidth, no
+ * lower-tier demand).
+ */
+std::int64_t solveRemoteSplit(std::int64_t a_lower, std::int64_t b_mm_w,
+                              std::int64_t b_remote_w);
 
 } // namespace dapsim::dap
 

@@ -75,7 +75,7 @@ AlloyCache::handleRead(Addr addr, Done done)
     if (policy_.isSetDisabled(set)) {
         readMisses.inc();
         window_.aMm++;
-        mm_.access(addr, false, std::move(done));
+        memAccess(addr, false, std::move(done));
         return;
     }
 
@@ -90,7 +90,7 @@ AlloyCache::handleRead(Addr addr, Done done)
     if (policy_.steerToMemory(addr, steer)) {
         const Line *l = dir_.find(set, tagOf(addr));
         if (l == nullptr || !l->dirty) {
-            mm_.access(addr, false, std::move(done));
+            memAccess(addr, false, std::move(done));
             return;
         }
     }
@@ -117,7 +117,7 @@ AlloyCache::handleRead(Addr addr, Done done)
             fillsBypassed.inc();
         }
         trainPredictor(addr, l != nullptr);
-        mm_.access(addr, false, std::move(done));
+        memAccess(addr, false, std::move(done));
         return;
     }
 
@@ -128,7 +128,7 @@ AlloyCache::handleRead(Addr addr, Done done)
     if (!predictHit(addr)) {
         st->earlyRead = true;
         earlyMissReads.inc();
-        mm_.access(addr, false, [st] {
+        memAccess(addr, false, [st] {
             st->memDone = true;
             if (st->needMem)
                 st->complete();
@@ -177,7 +177,7 @@ AlloyCache::resolveRead(Addr addr, std::shared_ptr<AlloyReadState> st)
         if (st->memDone)
             st->complete();
     } else {
-        mm_.access(addr, false, [st] { st->complete(); });
+        memAccess(addr, false, [st] { st->complete(); });
     }
     fill(addr);
 }
@@ -200,7 +200,7 @@ AlloyCache::fill(Addr addr)
         window_.aMm++;
         dirtyWritebacks.inc();
         const Addr vaddr = victim.tag << kBlockShift;
-        mm_.access(vaddr, true);
+        memAccess(vaddr, true);
     }
 
     fills.inc();
@@ -234,7 +234,7 @@ AlloyCache::handleWrite(Addr addr)
 
     if (policy_.isSetDisabled(set)) {
         writeMisses.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
         return;
     }
 
@@ -260,7 +260,7 @@ AlloyCache::handleWrite(Addr addr)
         dbc_.update(blockNumber(addr), l->dirty);
         array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
         if (write_through)
-            mm_.access(addr, true);
+            memAccess(addr, true);
         return;
     }
 
@@ -274,7 +274,7 @@ AlloyCache::handleWrite(Addr addr)
         window_.aMm++;
         dirtyWritebacks.inc();
         const Addr vaddr = victim.tag << kBlockShift;
-        mm_.access(vaddr, true);
+        memAccess(vaddr, true);
     }
     Line *nl = dir_.find(set, tag);
     const bool write_through = policy_.shouldWriteThrough(addr);
@@ -283,7 +283,7 @@ AlloyCache::handleWrite(Addr addr)
     window_.aMs++;
     array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
     if (write_through)
-        mm_.access(addr, true);
+        memAccess(addr, true);
 }
 
 void

@@ -31,7 +31,7 @@ EdramCache::handleRead(Addr addr, Done done)
     if (policy_.isSetDisabled(set)) {
         readMisses.inc();
         window_.aMm++;
-        mm_.access(addr, false, std::move(done));
+        memAccess(addr, false, std::move(done));
         return;
     }
 
@@ -65,7 +65,7 @@ EdramCache::resolveRead(Addr addr, Done done)
             window_.cleanHits++;
             if (policy_.shouldForceReadMiss(addr)) {
                 forcedReadMisses.inc();
-                mm_.access(addr, false, std::move(done));
+                memAccess(addr, false, std::move(done));
                 return;
             }
         }
@@ -84,7 +84,7 @@ EdramCache::resolveRead(Addr addr, Done done)
     } else {
         fill = allocateSector(addr, sec, blk);
     }
-    mm_.access(addr, false,
+    memAccess(addr, false,
                [this, sec, blk, fill, done = std::move(done)] {
                    if (fill)
                        writeArray_.access(dataAddr(sec, blk), true);
@@ -131,7 +131,7 @@ EdramCache::writebackVictim(std::uint64_t set, std::uint64_t victim_tag,
                            static_cast<Addr>(b) * kBlockBytes;
         readArray_.access(dataAddr(vsec, b), false, [this, waddr] {
             dirtyWritebacks.inc();
-            mm_.access(waddr, true);
+            memAccess(waddr, true);
         });
     }
 }
@@ -165,9 +165,9 @@ EdramCache::allocateSector(Addr addr, std::uint64_t sec,
         window_.aMm++;
         const Addr baddr = sec * cfg_.sectorBytes +
                            static_cast<Addr>(b) * kBlockBytes;
-        mm_.access(baddr, false, [this, sec, b] {
+        memAccess(baddr, false, [this, sec, b] {
             writeArray_.access(dataAddr(sec, b), true);
-        }, 0, /*low_priority=*/true);
+        }, /*low_priority=*/true);
     }
     return demand_fill;
 }
@@ -210,7 +210,7 @@ EdramCache::handleWrite(Addr addr)
 
     if (policy_.isSetDisabled(set)) {
         writeMisses.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
         return;
     }
 
@@ -227,7 +227,7 @@ EdramCache::handleWrite(Addr addr)
         m->touch(blk);
         if (policy_.shouldBypassWrite(addr)) {
             writesBypassed.inc();
-            mm_.access(addr, true);
+            memAccess(addr, true);
             if (m->isValid(blk))
                 m->clearBlock(blk);
             return;
@@ -240,7 +240,7 @@ EdramCache::handleWrite(Addr addr)
     writeMisses.inc();
     if (policy_.shouldBypassWrite(addr)) {
         writesBypassed.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
         return;
     }
     auto victim = dir_.insert(set, tag, SectorMeta{});

@@ -1,5 +1,7 @@
 #include "memside/ms_cache.hh"
 
+#include <utility>
+
 namespace dapsim
 {
 
@@ -46,6 +48,18 @@ MemSideCache::windowTick()
 }
 
 void
+MemSideCache::memAccess(Addr addr, bool is_write, Done done,
+                        bool low_priority)
+{
+    if (remote_ && policy_.shouldRouteToRemote(addr)) {
+        window_.aRemote++;
+        remote_->access(addr, is_write, std::move(done));
+        return;
+    }
+    mm_.access(addr, is_write, std::move(done), 0, low_priority);
+}
+
+void
 MemSideCache::saveBase(ckpt::Serializer &s) const
 {
     if (windowsRunning_)
@@ -74,6 +88,10 @@ MemSideCache::saveBase(ckpt::Serializer &s) const
     s.u64(speculativeWasted.value());
     s.u64(sectorEvictions.value());
     s.u64(dirtyWritebacks.value());
+    // Appended only when a remote tier exists so 2-tier checkpoints
+    // keep their exact historical byte layout.
+    if (remote_ != nullptr)
+        s.u64(window_.aRemote);
 }
 
 void
@@ -104,6 +122,8 @@ MemSideCache::restoreBase(ckpt::Deserializer &d)
     speculativeWasted.set(d.u64());
     sectorEvictions.set(d.u64());
     dirtyWritebacks.set(d.u64());
+    if (remote_ != nullptr)
+        window_.aRemote = d.u64();
 }
 
 } // namespace dapsim

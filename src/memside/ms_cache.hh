@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_system.hh"
+#include "memside/remote_memory.hh"
 #include "policies/partition_policy.hh"
 
 namespace dapsim
@@ -80,6 +81,11 @@ class MemSideCache
     DramSystem &mainMemory() { return mm_; }
     PartitionPolicy &policy() { return policy_; }
 
+    /** Attach the optional remote tier; lower-tier accesses are then
+     *  split between DDR and the remote pool by the policy. */
+    void setRemote(RemoteMemory *remote) { remote_ = remote; }
+    RemoteMemory *remote() { return remote_; }
+
     /** Read+write hit ratio (the paper's combined hit rate). */
     double
     hitRatio() const
@@ -130,12 +136,22 @@ class MemSideCache
     void saveBase(ckpt::Serializer &s) const;
     void restoreBase(ckpt::Deserializer &d);
 
+    /**
+     * Issue one lower-tier (main-memory-bound) access. With a remote
+     * tier attached the policy picks DDR vs remote per access; without
+     * one this is exactly mm_.access(). All architecture code funnels
+     * its main-memory traffic through here.
+     */
+    void memAccess(Addr addr, bool is_write, Done done = nullptr,
+                   bool low_priority = false);
+
     /** Demand counters being accumulated for the current window. */
     WindowCounters window_;
 
     EventQueue &eq_;
     DramSystem &mm_;
     PartitionPolicy &policy_;
+    RemoteMemory *remote_ = nullptr;
 
   private:
     void windowTick();

@@ -93,7 +93,7 @@ SectoredDramCache::lookupTags(Addr addr, bool is_read,
         // SFRM: launch the memory read in parallel with the tag fetch.
         sfrm->active = true;
         speculativeReads.inc();
-        mm_.access(addr, false, [sfrm] {
+        memAccess(addr, false, [sfrm] {
             sfrm->memDone = true;
             if (sfrm->missOrClean)
                 sfrm->complete();
@@ -113,7 +113,7 @@ SectoredDramCache::handleRead(Addr addr, Done done)
         // BATMAN: disabled sets are served straight from memory.
         readMisses.inc();
         window_.aMm++;
-        mm_.access(addr, false, std::move(done));
+        memAccess(addr, false, std::move(done));
         return;
     }
 
@@ -130,7 +130,7 @@ SectoredDramCache::handleRead(Addr addr, Done done)
         const SectorMeta *m = dir_.find(set, tagOf(sec));
         if (m == nullptr || !m->isDirty(blkOf(addr))) {
             steeredToMemory.inc();
-            mm_.access(addr, false, std::move(done));
+            memAccess(addr, false, std::move(done));
             return;
         }
         steerOverridden.inc();
@@ -186,7 +186,7 @@ SectoredDramCache::resolveRead(Addr addr, std::shared_ptr<SfrmState> sfrm)
         if (clean && policy_.shouldForceReadMiss(addr)) {
             // IFRM: serve the clean hit from main memory.
             forcedReadMisses.inc();
-            mm_.access(addr, false, [sfrm] { sfrm->complete(); });
+            memAccess(addr, false, [sfrm] { sfrm->complete(); });
             return;
         }
         array_.access(dataAddr(sec, blk), false,
@@ -216,7 +216,7 @@ SectoredDramCache::resolveRead(Addr addr, std::shared_ptr<SfrmState> sfrm)
         if (sfrm->memDone)
             sfrm->complete();
     } else {
-        mm_.access(addr, false, [this, sec, blk, fill, sfrm] {
+        memAccess(addr, false, [this, sec, blk, fill, sfrm] {
             if (fill)
                 array_.access(dataAddr(sec, blk), true);
             sfrm->complete();
@@ -266,7 +266,7 @@ SectoredDramCache::writebackVictim(std::uint64_t set,
                            static_cast<Addr>(b) * kBlockBytes;
         array_.access(dataAddr(vsec, b), false, [this, waddr] {
             dirtyWritebacks.inc();
-            mm_.access(waddr, true);
+            memAccess(waddr, true);
         });
     }
 }
@@ -303,9 +303,9 @@ SectoredDramCache::allocateSector(Addr addr, std::uint64_t sec,
         window_.aMm++;
         const Addr baddr = sec * cfg_.sectorBytes +
                            static_cast<Addr>(b) * kBlockBytes;
-        mm_.access(baddr, false, [this, sec, b] {
+        memAccess(baddr, false, [this, sec, b] {
             array_.access(dataAddr(sec, b), true);
-        }, 0, /*low_priority=*/true);
+        }, /*low_priority=*/true);
     }
     return demand_fill;
 }
@@ -321,7 +321,7 @@ SectoredDramCache::handleWrite(Addr addr)
 
     if (policy_.isSetDisabled(set)) {
         writeMisses.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
         return;
     }
 
@@ -341,7 +341,7 @@ SectoredDramCache::handleWrite(Addr addr)
         m->touch(blk);
         if (policy_.shouldBypassWrite(addr)) {
             writesBypassed.inc();
-            mm_.access(addr, true);
+            memAccess(addr, true);
             // The stale cached copy must be invalidated.
             if (m->isValid(blk)) {
                 m->clearBlock(blk);
@@ -354,7 +354,7 @@ SectoredDramCache::handleWrite(Addr addr)
         array_.access(dataAddr(sec, blk), true);
         if (policy_.shouldWriteThrough(addr)) {
             // SBD write-through mode: memory stays current, line clean.
-            mm_.access(addr, true);
+            memAccess(addr, true);
             m->clearBlock(blk);
             m->setValid(blk);
             markMetaDirty(set);
@@ -366,7 +366,7 @@ SectoredDramCache::handleWrite(Addr addr)
     writeMisses.inc();
     if (policy_.shouldBypassWrite(addr)) {
         writesBypassed.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
         return;
     }
     auto victim = dir_.insert(set, tag, SectorMeta{});
@@ -376,7 +376,7 @@ SectoredDramCache::handleWrite(Addr addr)
     SectorMeta *nm = dir_.find(set, tag);
     nm->touch(blk);
     if (policy_.shouldWriteThrough(addr)) {
-        mm_.access(addr, true);
+        memAccess(addr, true);
         nm->setValid(blk);
     } else {
         nm->setDirty(blk);
@@ -438,7 +438,7 @@ SectoredDramCache::cleanSector(Addr addr_in_sector)
                            static_cast<Addr>(b) * kBlockBytes;
         array_.access(dataAddr(sec, b), false, [this, waddr] {
             dirtyWritebacks.inc();
-            mm_.access(waddr, true);
+            memAccess(waddr, true);
         });
     }
     m->dirtyMask = 0;

@@ -31,6 +31,8 @@ DapTrace::onWindow(const DapWindowRecord &rec)
     w.key("read_misses").value(rec.in.readMisses);
     w.key("writes").value(rec.in.writes);
     w.key("clean_hits").value(rec.in.cleanHits);
+    if (rec.remoteEnabled)
+        w.key("a_remote").value(rec.in.aRemote);
     w.endObject();
 
     auto i64 = [&w](const char *key, std::int64_t v) {
@@ -45,6 +47,8 @@ DapTrace::onWindow(const DapWindowRecord &rec)
     i64("ifrm", rec.targets.nIfrm);
     i64("sfrm", rec.targets.nSfrm);
     i64("wt", rec.targets.nWriteThrough);
+    if (rec.remoteEnabled)
+        i64("remote", rec.targets.nRemote);
     w.key("active").value(rec.targets.active);
     w.endObject();
 
@@ -54,6 +58,8 @@ DapTrace::onWindow(const DapWindowRecord &rec)
     i64("ifrm", rec.ifrmCredits);
     i64("sfrm", rec.sfrmCredits);
     i64("wt", rec.wtCredits);
+    if (rec.remoteEnabled)
+        i64("remote", rec.remoteCredits);
     w.endObject();
 
     // Uses during the window that just ended.
@@ -63,6 +69,8 @@ DapTrace::onWindow(const DapWindowRecord &rec)
     w.key("ifrm").value(rec.ifrmApplied - prev_.ifrmApplied);
     w.key("sfrm").value(rec.sfrmApplied - prev_.sfrmApplied);
     w.key("wt").value(rec.wtApplied - prev_.wtApplied);
+    if (rec.remoteEnabled)
+        w.key("remote").value(rec.remoteApplied - prev_.remoteApplied);
     w.endObject();
 
     if (!probes_.empty()) {

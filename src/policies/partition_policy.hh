@@ -45,6 +45,9 @@ struct WindowCounters
     /** Demand lookups and hits (BATMAN's hit-rate tracking). */
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
+    /** Lower-tier accesses served by the remote pool instead of DDR
+     *  (subset of aMm; only meaningful with a remote tier present). */
+    std::uint64_t aRemote = 0;
 };
 
 /** Queue/latency snapshot for latency-based steering (SBD). */
@@ -108,6 +111,45 @@ class PartitionPolicy
      */
     virtual std::vector<std::uint64_t> collectSetsToFlush() { return {}; }
 
+    /**
+     * Tiered lower level: serve this main-memory-bound access from the
+     * remote pool instead of DDR? Consulted by the MS$ on every
+     * lower-tier access when a remote tier exists. The default
+     * interleaves deterministically at the configured remote fraction
+     * (the static Eq 4 optimum for the lower tier); DAP overrides it
+     * with per-window credits.
+     */
+    virtual bool
+    shouldRouteToRemote(Addr)
+    {
+        if (remoteNum_ == 0)
+            return false;
+        remoteAccum_ += remoteNum_;
+        if (remoteAccum_ >= kRemoteDen) {
+            remoteAccum_ -= kRemoteDen;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Set the fraction of lower-tier accesses the default router sends
+     * remotely (quantized to 1/1024ths; clamped to [0,1]). Not part of
+     * the checkpoint: it is re-derived from the configuration, and the
+     * interleave accumulator is always zero at the tick-0 snapshot
+     * point (warm-up never consults the policy).
+     */
+    void
+    setRemoteFraction(double fraction)
+    {
+        if (fraction < 0.0)
+            fraction = 0.0;
+        if (fraction > 1.0)
+            fraction = 1.0;
+        remoteNum_ =
+            static_cast<std::uint64_t>(fraction * kRemoteDen + 0.5);
+    }
+
     virtual const char *name() const { return "baseline"; }
 
     /**
@@ -117,6 +159,11 @@ class PartitionPolicy
      */
     virtual void save(ckpt::Serializer &) const {}
     virtual void restore(ckpt::Deserializer &) {}
+
+  private:
+    static constexpr std::uint64_t kRemoteDen = 1024;
+    std::uint64_t remoteNum_ = 0;   ///< remote share in 1024ths
+    std::uint64_t remoteAccum_ = 0; ///< Bresenham-style accumulator
 };
 
 /** The optimized baseline: tag cache only, no partitioning. */

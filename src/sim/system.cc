@@ -20,14 +20,14 @@ class NullMsCache final : public MemSideCache
     handleRead(Addr addr, Done done) override
     {
         readMisses.inc();
-        mm_.access(addr, false, std::move(done));
+        memAccess(addr, false, std::move(done));
     }
 
     void
     handleWrite(Addr addr) override
     {
         writeMisses.inc();
-        mm_.access(addr, true);
+        memAccess(addr, true);
     }
 
     std::uint64_t arrayCasOps() const override { return 0; }
@@ -89,9 +89,22 @@ System::System(const SystemConfig &cfg,
                 64);
 
     mm_ = std::make_unique<DramSystem>(eq_, cfg_.mainMemory);
+    if (cfg_.remote.enabled)
+        remote_ = std::make_unique<RemoteMemory>(
+            eq_, cfg_.remote, cfg_.mainMemory.peakGBps());
     deriveDapConfig();
     buildPolicy();
     buildMsCache();
+    if (remote_) {
+        ms_->setRemote(remote_.get());
+        // Static Eq 4 split for policies without their own remote
+        // credit machinery: the remote pool's bandwidth share of the
+        // combined lower tier. DapPolicy overrides the router, so the
+        // fraction is inert there.
+        const double b_mm = cfg_.mainMemory.peakAccessesPerCpuCycle();
+        const double b_rem = remote_->peakAccessesPerCpuCycle();
+        policy_->setRemoteFraction(b_rem / (b_mm + b_rem));
+    }
     l3_ = std::make_unique<L3Cache>(eq_, cfg_.l3, *ms_);
 
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
@@ -129,6 +142,9 @@ System::deriveDapConfig()
     cfg_.dap.mmPeakAccPerCycle =
         cfg_.mainMemory.peakAccessesPerCpuCycle();
     cfg_.dap.msPeakAccPerCycle = msPeakAccPerCycle(cfg_);
+    if (remote_)
+        cfg_.dap.remotePeakAccPerCycle =
+            remote_->peakAccessesPerCpuCycle();
     cfg_.dap.windowCycles = cfg_.windowCycles;
     switch (cfg_.arch) {
       case MsArch::Sectored:
@@ -233,6 +249,8 @@ System::setupObservability()
     if (obs::ChromeTraceWriter *ct = obs_->chromeTrace()) {
         eq_.setDispatchHook(ct);
         mm_->setBusTrace(ct, "mainMemory");
+        if (remote_)
+            remote_->setBusTrace(ct, "remote");
         if (auto *sc = dynamic_cast<SectoredDramCache *>(ms_.get()))
             sc->array().setBusTrace(ct, "msArray");
         if (auto *ac = dynamic_cast<AlloyCache *>(ms_.get()))
@@ -292,6 +310,19 @@ System::setupObservability()
     smp.addGroup(&l3g);
     smp.addGroup(&msg);
 
+    if (remote_) {
+        StatGroup &rg = obs_->makeGroup("remote");
+        rg.addCounter("reads", &remote_->reads);
+        rg.addCounter("writes", &remote_->writes);
+        smp.addGroup(&rg);
+        smp.addColumn("remote.busUtilization", [this] {
+            return remote_->busUtilization(eq_.now());
+        });
+        smp.addColumn("remote.queuePeakDepth", [this] {
+            return static_cast<double>(remote_->queuePeakDepth());
+        });
+    }
+
     if (DapPolicy *dap = dapPolicy()) {
         StatGroup &dg = obs_->makeGroup("dap");
         dg.addCounter("fwbApplied", &dap->fwbApplied);
@@ -299,6 +330,8 @@ System::setupObservability()
         dg.addCounter("ifrmApplied", &dap->ifrmApplied);
         dg.addCounter("sfrmApplied", &dap->sfrmApplied);
         dg.addCounter("wtApplied", &dap->writeThroughApplied);
+        if (dap->config().remoteEnabled())
+            dg.addCounter("remoteApplied", &dap->remoteApplied);
         dg.addCounter("windowsPartitioned", &dap->windowsPartitioned);
         dg.addCounter("windowsTotal", &dap->windowsTotal);
         smp.addGroup(&dg);
@@ -317,6 +350,10 @@ System::setupObservability()
         smp.addColumn("dap.wtCredits", [dap] {
             return static_cast<double>(dap->wtCredits());
         });
+        if (dap->config().remoteEnabled())
+            smp.addColumn("dap.remoteCredits", [dap] {
+                return static_cast<double>(dap->remoteCredits());
+            });
     }
 
     smp.addColumn("sim.events", [this] {
@@ -526,11 +563,32 @@ System::dumpStats(std::ostream &os)
     }
     dumpDram(os, "mainMemory", *mm_, elapsed);
 
+    if (remote_) {
+        os << "remote.reads " << remote_->reads.value() << '\n';
+        os << "remote.writes " << remote_->writes.value() << '\n';
+        os << "remote.meanReadLatencyNs "
+           << remote_->meanReadLatency() / 1000.0 << '\n';
+        os << "remote.busUtilization "
+           << remote_->busUtilization(elapsed) << '\n';
+        os << "remote.deliveredGBps "
+           << (elapsed ? static_cast<double>(remote_->dataBytes()) /
+                             (static_cast<double>(elapsed) /
+                              kPsPerSecond) /
+                             1e9
+                       : 0.0)
+           << '\n';
+        os << "remote.queuePeakDepth " << remote_->queuePeakDepth()
+           << '\n';
+    }
+
     if (DapPolicy *dap = dapPolicy()) {
         os << "dap.fwbApplied " << dap->fwbApplied.value() << '\n';
         os << "dap.wbApplied " << dap->wbApplied.value() << '\n';
         os << "dap.ifrmApplied " << dap->ifrmApplied.value() << '\n';
         os << "dap.sfrmApplied " << dap->sfrmApplied.value() << '\n';
+        if (dap->config().remoteEnabled())
+            os << "dap.remoteApplied " << dap->remoteApplied.value()
+               << '\n';
         os << "dap.windowsPartitioned "
            << dap->windowsPartitioned.value() << '\n';
         os << "dap.windowsTotal " << dap->windowsTotal.value() << '\n';
@@ -550,6 +608,11 @@ System::save(ckpt::Serializer &s) const
 
     s.beginSection("meta");
     s.u64(eq_.pending());
+    // Trailing marker present only in 3-tier configurations (2-tier
+    // layout unchanged): restore() probes for it to refuse a tier
+    // mismatch up-front with a clear message.
+    if (remote_)
+        s.boolean(true);
     s.endSection();
 
     s.beginSection("gens");
@@ -582,6 +645,14 @@ System::save(ckpt::Serializer &s) const
     mm_->save(s);
     s.endSection();
 
+    // Present only in 3-tier configurations so 2-tier checkpoints keep
+    // their exact historical layout.
+    if (remote_) {
+        s.beginSection("remote");
+        remote_->save(s);
+        s.endSection();
+    }
+
     // Last, so a fork-restore into a different policy can skip it.
     s.beginSection("policy");
     policy_->save(s);
@@ -600,6 +671,17 @@ System::restore(ckpt::Deserializer &d, bool skip_policy)
         throw ckpt::CkptError(
             "ckpt: pending-event count mismatch (the checkpoint was "
             "taken under a different DRAM refresh configuration)");
+    const bool ckpt_has_remote =
+        d.sectionRemaining() > 0 && d.boolean();
+    if (remote_ && !ckpt_has_remote)
+        throw ckpt::CkptError(
+            "ckpt: checkpoint has no remote-tier section (it was "
+            "taken with the remote tier disabled); it cannot seed a "
+            "3-tier configuration");
+    if (!remote_ && ckpt_has_remote)
+        throw ckpt::CkptError(
+            "ckpt: checkpoint carries a remote-tier section but this "
+            "configuration has the remote tier disabled");
     d.leaveSection();
 
     d.enterSection("gens");
@@ -634,6 +716,19 @@ System::restore(ckpt::Deserializer &d, bool skip_policy)
     d.enterSection("mm");
     mm_->restore(d);
     d.leaveSection();
+
+    if (remote_) {
+        try {
+            d.enterSection("remote");
+        } catch (const ckpt::CkptError &) {
+            throw ckpt::CkptError(
+                "ckpt: checkpoint has no remote-tier section (it was "
+                "taken with the remote tier disabled); it cannot seed "
+                "a 3-tier configuration");
+        }
+        remote_->restore(d);
+        d.leaveSection();
+    }
 
     if (skip_policy) {
         // Post-warmup policy state equals a fresh policy's (warmTouch

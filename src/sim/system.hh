@@ -17,6 +17,7 @@
 #include "dram/presets.hh"
 #include "memside/alloy_cache.hh"
 #include "memside/edram_cache.hh"
+#include "memside/remote_memory.hh"
 #include "memside/sectored_dram_cache.hh"
 #include "obs/obs_config.hh"
 #include "policies/batman.hh"
@@ -66,6 +67,11 @@ struct SystemConfig
     EdramCacheConfig edram{};
 
     DramConfig mainMemory = presets::ddr4_2400();
+
+    /** Optional third bandwidth tier (CXL/RDMA-attached remote pool);
+     *  disabled by default, and bit-identical to a 2-tier system when
+     *  disabled. */
+    RemoteConfig remote{};
 
     PolicyKind policy = PolicyKind::Baseline;
     /** DAP parameters; bandwidth fields are auto-filled from the
@@ -125,6 +131,8 @@ class System
 
     EventQueue &eventQueue() { return eq_; }
     DramSystem &mainMemory() { return *mm_; }
+    /** The remote tier, or nullptr when cfg.remote is disabled. */
+    RemoteMemory *remoteMemory() { return remote_.get(); }
     MemSideCache *msCache() { return ms_.get(); }
     L3Cache &l3() { return *l3_; }
     PartitionPolicy &policy() { return *policy_; }
@@ -180,6 +188,7 @@ class System
     SystemConfig cfg_;
     EventQueue eq_;
     std::unique_ptr<DramSystem> mm_;
+    std::unique_ptr<RemoteMemory> remote_;
     std::unique_ptr<PartitionPolicy> policy_;
     std::unique_ptr<MemSideCache> ms_;
     std::unique_ptr<L3Cache> l3_;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "dap/bandwidth_model.hh"
 
 namespace dapsim::bwmodel
@@ -110,7 +113,106 @@ TEST(BandwidthModelDeathTest, RejectsBadInput)
                  "non-positive");
     EXPECT_DEATH((void)deliveredBandwidth({1.0}, {-0.5}), "negative");
     EXPECT_DEATH((void)maxDeliveredWithInflation({1.0}, 0.5), ">= 1");
+    EXPECT_DEATH((void)optimalFractions({}), "positive");
+    EXPECT_DEATH((void)optimalFractions({0.0, 0.0}), "positive");
 }
+
+/** Deterministic LCG so fuzz failures reproduce byte-for-byte. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : x_(seed * 2654435761u + 99) {}
+
+    std::int64_t
+    operator()(std::int64_t lo, std::int64_t hi)
+    {
+        x_ = x_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lo + static_cast<std::int64_t>(
+                        (x_ >> 16) %
+                        static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+  private:
+    std::uint64_t x_;
+};
+
+class NSourceFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NSourceFuzz, OptimumDeliversTheSumForRandomSourceVectors)
+{
+    // Eqs 3-4 for random 3-5-source systems: the bandwidth-
+    // proportional fractions sum to one, deliver exactly the sum of
+    // the source bandwidths, and no perturbation delivers more.
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = static_cast<std::size_t>(rnd(3, 5));
+        std::vector<double> b;
+        for (std::size_t i = 0; i < n; ++i)
+            b.push_back(static_cast<double>(rnd(1, 10'000)) / 10.0);
+        const double sum = maxDeliveredBandwidth(b);
+
+        const auto f = optimalFractions(b);
+        ASSERT_EQ(f.size(), n);
+        double fsum = 0.0;
+        for (double fi : f) {
+            EXPECT_GE(fi, 0.0);
+            fsum += fi;
+        }
+        EXPECT_NEAR(fsum, 1.0, 1e-12) << "trial " << trial;
+        EXPECT_NEAR(deliveredBandwidth(b, f), sum, 1e-9 * sum)
+            << "trial " << trial;
+
+        // Shift mass between two random sources: never better.
+        const std::size_t from = static_cast<std::size_t>(
+            rnd(0, static_cast<std::int64_t>(n) - 1));
+        const std::size_t to = static_cast<std::size_t>(
+            rnd(0, static_cast<std::int64_t>(n) - 1));
+        if (from == to)
+            continue;
+        std::vector<double> g = f;
+        const double delta =
+            std::min(g[from],
+                     static_cast<double>(rnd(1, 100)) / 1000.0);
+        g[from] -= delta;
+        g[to] += delta;
+        EXPECT_LE(deliveredBandwidth(b, g), sum * (1.0 + 1e-12))
+            << "trial " << trial;
+    }
+}
+
+TEST_P(NSourceFuzz, DuplicateSourcesSplitEvenly)
+{
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()) + 500);
+    for (int trial = 0; trial < 100; ++trial) {
+        const double bw = static_cast<double>(rnd(1, 10'000)) / 10.0;
+        const std::size_t n = static_cast<std::size_t>(rnd(3, 5));
+        const std::vector<double> b(n, bw);
+        const auto f = optimalFractions(b);
+        for (double fi : f)
+            EXPECT_NEAR(fi, 1.0 / static_cast<double>(n), 1e-12);
+        EXPECT_NEAR(deliveredBandwidth(b, f),
+                    bw * static_cast<double>(n),
+                    1e-9 * bw * static_cast<double>(n));
+    }
+}
+
+TEST(BandwidthModel, ZeroBandwidthSourceGetsZeroFraction)
+{
+    // A dead source is legal input to optimalFractions (the remote
+    // tier before enablement): it just receives no traffic, with no
+    // division by zero anywhere.
+    const auto f = optimalFractions({102.4, 38.4, 0.0});
+    EXPECT_NEAR(f[0], 102.4 / 140.8, 1e-12);
+    EXPECT_NEAR(f[1], 38.4 / 140.8, 1e-12);
+    EXPECT_EQ(f[2], 0.0);
+    // The live sources still deliver the live sum at that split.
+    EXPECT_NEAR(deliveredBandwidth({102.4, 38.4}, {f[0], f[1]}), 140.8,
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NSourceFuzz, ::testing::Range(1, 6));
 
 /** Property: delivered bandwidth is monotone in each source bandwidth. */
 class BandwidthMonotone : public ::testing::TestWithParam<double>

@@ -63,6 +63,17 @@ noneTiny()
     return cfg;
 }
 
+SystemConfig
+tieredTiny()
+{
+    SystemConfig cfg = sectoredTiny();
+    cfg.remote.enabled = true;
+    cfg.remote.bwScaleFactor = 4.0;
+    cfg.remote.addLatencyNs = 120.0;
+    cfg.remote.maxOutstanding = 32;
+    return cfg;
+}
+
 Mix
 tinyMix(const std::string &workload)
 {
@@ -277,6 +288,115 @@ TEST(Ckpt, EdramRestoreIsBitIdentical)
 TEST(Ckpt, NoMsCacheRestoreIsBitIdentical)
 {
     expectRestoreMatchesRun(noneTiny());
+}
+
+TEST(Ckpt, TieredRestoreIsBitIdentical)
+{
+    expectRestoreMatchesRun(tieredTiny());
+}
+
+TEST(Ckpt, TieredDapRestoreIsBitIdentical)
+{
+    SystemConfig cfg = tieredTiny();
+    cfg.policy = PolicyKind::Dap;
+    expectRestoreMatchesRun(cfg);
+}
+
+TEST(Ckpt, RemoteMemoryMidRunRoundTripMatchesUninterrupted)
+{
+    RemoteConfig rc;
+    rc.enabled = true;
+    rc.bwScaleFactor = 4.0;
+    rc.addLatencyNs = 120.0;
+    rc.maxOutstanding = 2;
+
+    // Six posted writes against a two-deep credit window: two on the
+    // link, four queued behind them.
+    EventQueue eq1;
+    RemoteMemory rm1(eq1, rc, 38.4);
+    for (int i = 0; i < 6; ++i)
+        rm1.access(static_cast<Addr>(i) * kBlockBytes, true);
+    ASSERT_EQ(rm1.outstanding(), 6u);
+
+    // Snapshot with the queue backed up, then let the original drain.
+    ckpt::Serializer s;
+    rm1.save(s);
+    eq1.runUntil([&] { return rm1.writes.value() == 6; });
+
+    // Restore into a fresh queue and drain the replica.
+    EventQueue eq2;
+    RemoteMemory rm2(eq2, rc, 38.4);
+    ckpt::Deserializer d(s.buffer());
+    rm2.restore(d);
+    EXPECT_TRUE(d.atEnd());
+    EXPECT_EQ(rm2.outstanding(), 6u);
+    eq2.runUntil([&] { return rm2.writes.value() == 6; });
+
+    // The replayed drain is indistinguishable from the uninterrupted
+    // one: same finish time, same link statistics.
+    EXPECT_EQ(eq1.now(), eq2.now());
+    EXPECT_EQ(rm1.dataBytes(), rm2.dataBytes());
+    EXPECT_EQ(rm1.queuePeakDepth(), rm2.queuePeakDepth());
+    EXPECT_EQ(rm1.busUtilization(eq1.now()),
+              rm2.busUtilization(eq2.now()));
+}
+
+TEST(Ckpt, RemoteSaveRefusesOutstandingReads)
+{
+    RemoteConfig rc;
+    rc.enabled = true;
+    EventQueue eq;
+    RemoteMemory rm(eq, rc, 38.4);
+    bool fired = false;
+    rm.access(0, false, [&fired] { fired = true; });
+    ckpt::Serializer s;
+    EXPECT_THROW(rm.save(s), ckpt::CkptError);
+    eq.runUntil([&] { return fired; });
+    ckpt::Serializer ok;
+    EXPECT_NO_THROW(rm.save(ok)); // drained: quiescent again
+}
+
+/** Capture a two-tier checkpoint and restore it into the same config
+ *  with the remote tier switched on; returns the error message. */
+std::string
+restoreTwoTierIntoTiered()
+{
+    const Mix mix = tinyMix("mcf");
+    auto build = [&](const SystemConfig &cfg) {
+        std::vector<AccessGeneratorPtr> gens;
+        for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+            gens.push_back(makeGenerator(mix.apps[i], i, 0));
+        return std::make_unique<System>(cfg, std::move(gens));
+    };
+    auto flat = build(sectoredTiny());
+    ckpt::Serializer s;
+    flat->save(s);
+
+    auto tiered = build(tieredTiny());
+    ckpt::Deserializer d(s.buffer());
+    try {
+        tiered->restore(d);
+    } catch (const ckpt::CkptError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(Ckpt, TwoTierCheckpointRefusedInTieredConfig)
+{
+    // A v1 checkpoint taken without the remote tier has no "remote"
+    // section: restoring it into a 3-tier config must fail with a
+    // message naming the missing tier, not a generic framing error.
+    const std::string msg = restoreTwoTierIntoTiered();
+    EXPECT_NE(msg.find("remote"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot seed"), std::string::npos) << msg;
+}
+
+TEST(CkptDeathTest, TwoTierCheckpointIntoTieredConfigIsFatal)
+{
+    // The CLI surfaces the CkptError via fatal(); the death message
+    // must name the remote tier so users know which knob to flip.
+    EXPECT_DEATH(fatal(restoreTwoTierIntoTiered()), "remote");
 }
 
 TEST(Ckpt, ForkSeedsEveryPolicyBitIdentically)

@@ -15,6 +15,7 @@
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 #include "trace/trace_file.hh"
+#include "xval_util.hh"
 
 namespace dapsim
 {
@@ -55,18 +56,9 @@ TEST(CrossValidation, TwoSourceDeliveredBandwidthMatchesEquationTwo)
     DramSystem slow(eq, presets::ddr4_2400());
     const int n = 6000;
     const double f_fast = 0.727; // the optimal split
-    int done = 0;
-    Rng rng(5);
-    for (int i = 0; i < n; ++i) {
-        const Addr a = static_cast<Addr>(i) * kBlockBytes;
-        if (rng.chance(f_fast))
-            fast.access(a, false, [&] { ++done; });
-        else
-            slow.access(a, false, [&] { ++done; });
-    }
-    eq.runUntil([&] { return done == n; });
-    const double seconds = static_cast<double>(eq.now()) / kPsPerSecond;
-    const double gbps = n * 64.0 / seconds / 1e9;
+    const double gbps = xval::measureSplitGBps(
+        eq, {xval::dramIssuer(fast), xval::dramIssuer(slow)},
+        {f_fast, 1.0 - f_fast}, n, 5);
     const double ideal = bwmodel::deliveredBandwidth(
         {102.4, 38.4}, {f_fast, 1.0 - f_fast});
     // Above 60% of the analytic optimum and never above it.
@@ -80,19 +72,9 @@ TEST(CrossValidation, UnbalancedSplitDeliversLess)
         EventQueue eq;
         DramSystem fast(eq, presets::hbm_102());
         DramSystem slow(eq, presets::ddr4_2400());
-        const int n = 4000;
-        int done = 0;
-        Rng rng(7);
-        for (int i = 0; i < n; ++i) {
-            const Addr a = static_cast<Addr>(i) * kBlockBytes;
-            if (rng.chance(f_fast))
-                fast.access(a, false, [&] { ++done; });
-            else
-                slow.access(a, false, [&] { ++done; });
-        }
-        eq.runUntil([&] { return done == n; });
-        return n * 64.0 /
-               (static_cast<double>(eq.now()) / kPsPerSecond) / 1e9;
+        return xval::measureSplitGBps(
+            eq, {xval::dramIssuer(fast), xval::dramIssuer(slow)},
+            {f_fast, 1.0 - f_fast}, 4000, 7);
     };
     // Sending everything to the slow source is far worse than the
     // optimal split — the motivating inequality of the whole paper.

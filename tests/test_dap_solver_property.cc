@@ -195,6 +195,89 @@ TEST_P(SolverPropertyExt, PolicyCreditsStayWithinHardwareRange)
     }
 }
 
+TEST_P(SolverPropertyExt, RemoteSplitStaysWithinBothBudgets)
+{
+    // DAP-n's Eq 4 remote split: never negative, never more than the
+    // lower-tier demand or the remote window budget, and monotone in
+    // the demand it divides.
+    Lcg rnd(static_cast<std::uint64_t>(GetParam()) + 4000);
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t a = rnd(0, 500);
+        const std::int64_t b_mm = rnd(0, 60);
+        const std::int64_t b_rem = rnd(0, 60);
+        const std::int64_t n = solveRemoteSplit(a, b_mm, b_rem);
+        EXPECT_GE(n, 0) << "iteration " << i;
+        EXPECT_LE(n, a) << "iteration " << i;
+        EXPECT_LE(n, std::max<std::int64_t>(b_rem, 0))
+            << "iteration " << i;
+        // More lower-tier demand never shrinks the remote share.
+        EXPECT_GE(solveRemoteSplit(a + 1, b_mm, b_rem), n)
+            << "iteration " << i;
+    }
+}
+
+TEST(SolverRemoteSplit, DegenerateInputsAreSafe)
+{
+    // No demand or no remote bandwidth: nothing to route.
+    EXPECT_EQ(solveRemoteSplit(0, 10, 10), 0);
+    EXPECT_EQ(solveRemoteSplit(-5, 10, 10), 0);
+    EXPECT_EQ(solveRemoteSplit(100, 10, 0), 0);
+    EXPECT_EQ(solveRemoteSplit(100, 10, -3), 0);
+    // Dead DDR tier: everything (up to the budget) goes remote.
+    EXPECT_EQ(solveRemoteSplit(100, 0, 40), 40);
+    EXPECT_EQ(solveRemoteSplit(20, 0, 40), 20);
+    // Duplicate bandwidths split the demand evenly (Eq 4)...
+    EXPECT_EQ(solveRemoteSplit(40, 30, 30), 20);
+    // ...but never past the remote window budget.
+    EXPECT_EQ(solveRemoteSplit(100, 30, 30), 30);
+}
+
+TEST(SolverRemoteSplit, RatioKUnchangedWithoutRemote)
+{
+    // DAP-n's generalized K degenerates to the paper's two-source K
+    // when the remote bandwidth is zero.
+    DapConfig two;
+    two.msPeakAccPerCycle = 0.4;
+    two.mmPeakAccPerCycle = 0.15;
+    DapConfig three = two;
+    three.remotePeakAccPerCycle = 0.0;
+    EXPECT_EQ(two.ratioK().numerator(), three.ratioK().numerator());
+    EXPECT_EQ(two.ratioK().denominator(),
+              three.ratioK().denominator());
+    // And a positive remote bandwidth lowers K: the lower level is
+    // faster, so the MS$'s proportional share shrinks.
+    three.remotePeakAccPerCycle = 0.15;
+    EXPECT_LT(three.ratioK().value(), two.ratioK().value());
+}
+
+TEST(SolverRemoteSplit, PolicyRemoteCreditsStayWithinHardwareRange)
+{
+    Lcg rnd(7777);
+    DapConfig cfg;
+    cfg.msPeakAccPerCycle = 0.4;
+    cfg.mmPeakAccPerCycle = 0.15;
+    cfg.remotePeakAccPerCycle = 0.05;
+    DapPolicy policy(cfg);
+    for (int w = 0; w < 400; ++w) {
+        WindowCounters prev;
+        prev.aMs = static_cast<std::uint64_t>(rnd(0, 200));
+        prev.aMm = static_cast<std::uint64_t>(rnd(0, 60));
+        prev.aRemote = static_cast<std::uint64_t>(
+            rnd(0, static_cast<std::int64_t>(prev.aMm)));
+        prev.readMisses = static_cast<std::uint64_t>(rnd(0, 80));
+        prev.writes = static_cast<std::uint64_t>(rnd(0, 80));
+        prev.cleanHits = static_cast<std::uint64_t>(rnd(0, 80));
+        policy.beginWindow(prev);
+        EXPECT_GE(policy.remoteCredits(), 0);
+        EXPECT_LE(policy.remoteCredits(), cfg.creditMax);
+        for (int d = rnd(0, 40); d > 0; --d)
+            policy.shouldRouteToRemote(static_cast<Addr>(rnd(0, 7))
+                                       << 40);
+        EXPECT_GE(policy.remoteCredits(), 0);
+        EXPECT_LE(policy.remoteCredits(), cfg.creditMax);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyExt,
                          ::testing::Range(1, 6));
 

@@ -51,9 +51,10 @@ goldenPath(const std::string &name)
 /** The pinned scenario: one architecture, DAP policy, a small fixed
  *  hpcg-style workload (the test_stats_dump recipe). Everything here
  *  is part of the golden contract — do not change it without
- *  regenerating the files. */
+ *  regenerating the files. @p remote enables the third bandwidth
+ *  source (the tiered_remote golden). */
 std::string
-runScenario(MsArch arch)
+runScenario(MsArch arch, bool remote = false)
 {
     SystemConfig cfg = presets::sectoredSystem8();
     cfg.arch = arch;
@@ -63,6 +64,12 @@ runScenario(MsArch arch)
     cfg.policy = PolicyKind::Dap;
     cfg.core.instructions = 3'000;
     cfg.warmupAccessesPerCore = 5'000;
+    if (remote) {
+        cfg.remote.enabled = true;
+        cfg.remote.bwScaleFactor = 4.0;
+        cfg.remote.addLatencyNs = 120.0;
+        cfg.remote.maxOutstanding = 32;
+    }
 
     WorkloadProfile w = workloadByName("hpcg");
     w.params.footprintBytes = 512 * kKiB;
@@ -197,6 +204,21 @@ TEST(GoldenRuns, EdramDap)
 TEST(GoldenRuns, ZipfDriftDap)
 {
     checkGolden("zipf_drift", runZipfDriftScenario());
+}
+TEST(GoldenRuns, TieredRemoteDap)
+{
+    checkGolden("tiered_remote",
+                runScenario(MsArch::Sectored, /*remote=*/true));
+}
+TEST(GoldenRuns, RemoteDisabledIsBitIdentical)
+{
+    // The remote tier defaults to disabled, and a disabled tier must
+    // be invisible: the run reproduces the pre-existing "sectored"
+    // golden byte-for-byte (same row set, same values). This pins the
+    // enable-gating of every remote stats row, checkpoint byte and
+    // trace column.
+    checkGolden("sectored",
+                runScenario(MsArch::Sectored, /*remote=*/false));
 }
 
 } // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * DAP-n cross-validation: the three-source partition derived from the
+ * hardware arithmetic (FixedRatio K over the combined lower level plus
+ * the Eq 4 remote split) against a brute-force exhaustive search of
+ * the (f_ms, f_mm, f_remote) simplex on the timing simulator.
+ *
+ * Mirrors test_cross_validation.cc's two-source methodology: drive the
+ * raw bandwidth sources with a fixed split at tick 0 and measure the
+ * delivered GB/s. DAP-n's point must land within 5% of the empirical
+ * optimum over a 0.05-step simplex grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dap/dap_controller.hh"
+#include "dap/dap_solver.hh"
+#include "dram/dram_system.hh"
+#include "dram/presets.hh"
+#include "xval_util.hh"
+
+namespace dapsim
+{
+namespace
+{
+
+struct TieredSetup
+{
+    std::string label;
+    DramConfig ms;
+    DramConfig mm;
+    RemoteConfig remote;
+};
+
+std::vector<TieredSetup>
+setups()
+{
+    // Three small 3-tier configs. maxOutstanding is sized so the
+    // credit window never throttles the serial link (occupancy =
+    // (transfer + latency) / transfer must stay below it), keeping
+    // the raw sources faithful to the analytic model's peak rates.
+    TieredSetup a;
+    a.label = "hbm102+ddr2400+ddr/4@120ns";
+    a.ms = presets::hbm_102();
+    a.mm = presets::ddr4_2400();
+    a.remote.enabled = true;
+    a.remote.bwScaleFactor = 4.0;
+    a.remote.addLatencyNs = 120.0;
+    a.remote.maxOutstanding = 32;
+
+    TieredSetup b;
+    b.label = "hbm102+ddr3200+ddr/2@60ns";
+    b.ms = presets::hbm_102();
+    b.mm = presets::ddr4_3200();
+    b.remote.enabled = true;
+    b.remote.bwScaleFactor = 2.0;
+    b.remote.addLatencyNs = 60.0;
+    b.remote.maxOutstanding = 64;
+
+    // Duplicate lower-tier bandwidths: B_remote == B_MM.
+    TieredSetup c;
+    c.label = "hbm205+ddr3200+ddr/1@100ns";
+    c.ms = presets::hbm_205();
+    c.mm = presets::ddr4_3200();
+    c.remote.enabled = true;
+    c.remote.bwScaleFactor = 1.0;
+    c.remote.addLatencyNs = 100.0;
+    c.remote.maxOutstanding = 128;
+
+    return {a, b, c};
+}
+
+/** Delivered GB/s for one split on freshly built sources. */
+double
+measure(const TieredSetup &ts, const std::vector<double> &fractions,
+        int n, std::uint64_t seed)
+{
+    EventQueue eq;
+    DramSystem ms(eq, ts.ms);
+    DramSystem mm(eq, ts.mm);
+    RemoteMemory remote(eq, ts.remote, ts.mm.peakGBps());
+    return xval::measureSplitGBps(eq,
+                                  {xval::dramIssuer(ms),
+                                   xval::dramIssuer(mm),
+                                   xval::remoteIssuer(remote)},
+                                  fractions, n, seed);
+}
+
+/** The (f_ms, f_mm, f_remote) split DAP-n's hardware arithmetic
+ *  produces for a fully loaded window. */
+std::vector<double>
+dapnFractions(const TieredSetup &ts)
+{
+    DapConfig cfg;
+    cfg.windowCycles = 65536;
+    cfg.efficiency = 1.0;
+    cfg.msPeakAccPerCycle = ts.ms.peakAccessesPerCpuCycle();
+    cfg.mmPeakAccPerCycle = ts.mm.peakAccessesPerCpuCycle();
+    EventQueue probe_eq;
+    RemoteMemory probe(probe_eq, ts.remote, ts.mm.peakGBps());
+    cfg.remotePeakAccPerCycle = probe.peakAccessesPerCpuCycle();
+
+    const FixedRatio k = cfg.ratioK();
+    const std::int64_t demand = cfg.msAccessesPerWindow() +
+                                cfg.mmAccessesPerWindow() +
+                                cfg.remoteAccessesPerWindow();
+    const std::int64_t n_lower = k.divByKPlusOne(demand);
+    const std::int64_t n_remote = dap::solveRemoteSplit(
+        n_lower, cfg.mmAccessesPerWindow(),
+        cfg.remoteAccessesPerWindow());
+    const double a = static_cast<double>(demand);
+    return {static_cast<double>(demand - n_lower) / a,
+            static_cast<double>(n_lower - n_remote) / a,
+            static_cast<double>(n_remote) / a};
+}
+
+TEST(TieredCrossValidation, DapnWithinFivePercentOfExhaustiveSearch)
+{
+    constexpr int kAccesses = 2400;
+    constexpr std::uint64_t kSeed = 11;
+    for (const TieredSetup &ts : setups()) {
+        // Brute-force exhaustive search of the simplex, 0.05 steps.
+        double best = 0.0;
+        std::vector<double> best_f;
+        for (int i = 0; i <= 20; ++i) {
+            for (int j = 0; j <= 20 - i; ++j) {
+                const std::vector<double> f = {i / 20.0, j / 20.0,
+                                               (20 - i - j) / 20.0};
+                const double got = measure(ts, f, kAccesses, kSeed);
+                if (got > best) {
+                    best = got;
+                    best_f = f;
+                }
+            }
+        }
+        ASSERT_GT(best, 0.0) << ts.label;
+
+        const std::vector<double> dap_f = dapnFractions(ts);
+        EXPECT_NEAR(dap_f[0] + dap_f[1] + dap_f[2], 1.0, 1e-12)
+            << ts.label;
+        const double dap_bw = measure(ts, dap_f, kAccesses, kSeed);
+        EXPECT_GE(dap_bw, 0.95 * best)
+            << ts.label << ": dap (" << dap_f[0] << ", " << dap_f[1]
+            << ", " << dap_f[2] << ") -> " << dap_bw
+            << " GB/s vs grid best (" << best_f[0] << ", " << best_f[1]
+            << ", " << best_f[2] << ") -> " << best << " GB/s";
+    }
+}
+
+TEST(TieredCrossValidation, AllRemoteSplitDeliversLess)
+{
+    // Routing everything to the remote pool is far worse than DAP-n's
+    // partition — the three-source version of the paper's motivating
+    // inequality.
+    const TieredSetup ts = setups()[0];
+    const double dap_bw =
+        measure(ts, dapnFractions(ts), 2400, 11);
+    const double remote_only = measure(ts, {0.0, 0.0, 1.0}, 2400, 11);
+    EXPECT_GT(dap_bw, 3.0 * remote_only);
+}
+
+} // namespace
+} // namespace dapsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared cross-validation helpers: measure the delivered bandwidth of
+ * a fixed access split across n heterogeneous bandwidth sources with
+ * the timing simulator, for comparison against the Section III
+ * analytical model (Eqs 1-4).
+ */
+
+#ifndef DAPSIM_TESTS_XVAL_UTIL_HH
+#define DAPSIM_TESTS_XVAL_UTIL_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+#include "memside/remote_memory.hh"
+
+namespace dapsim::xval
+{
+
+/** One bandwidth source: issues a 64B read and signals completion. */
+using IssueFn = std::function<void(Addr, EventQueue::Callback)>;
+
+inline IssueFn
+dramIssuer(DramSystem &mem)
+{
+    return [&mem](Addr a, EventQueue::Callback done) {
+        mem.access(a, false, std::move(done));
+    };
+}
+
+inline IssueFn
+remoteIssuer(RemoteMemory &remote)
+{
+    return [&remote](Addr a, EventQueue::Callback done) {
+        remote.access(a, false, std::move(done));
+    };
+}
+
+/**
+ * Issue @p n 64B reads at tick 0, split across @p sources by the
+ * cumulative @p fractions (one Rng::real() draw per access, so the
+ * two-source case reproduces Rng::chance(f) draw-for-draw), run the
+ * queue dry and return the delivered GB/s.
+ */
+inline double
+measureSplitGBps(EventQueue &eq, const std::vector<IssueFn> &sources,
+                 const std::vector<double> &fractions, int n,
+                 std::uint64_t seed)
+{
+    int done = 0;
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const Addr a = static_cast<Addr>(i) * kBlockBytes;
+        const double u = rng.real();
+        double cum = 0.0;
+        std::size_t pick = sources.size() - 1;
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+            cum += fractions[s];
+            if (u < cum) {
+                pick = s;
+                break;
+            }
+        }
+        sources[pick](a, [&done] { ++done; });
+    }
+    eq.runUntil([&done, n] { return done == n; });
+    const double seconds = static_cast<double>(eq.now()) / kPsPerSecond;
+    return n * 64.0 / seconds / 1e9;
+}
+
+} // namespace dapsim::xval
+
+#endif // DAPSIM_TESTS_XVAL_UTIL_HH

@@ -48,6 +48,10 @@ struct Options
     std::string saveCkpt;
     std::string restoreCkpt;
     bool stats = false;
+    bool remote = false;
+    double remoteScale = 4.0;
+    double remoteLatencyNs = 120.0;
+    std::uint32_t remoteOutstanding = 32;
     obs::ObsConfig obs{};
 };
 
@@ -70,6 +74,10 @@ usage()
         "  --window W           DAP window in CPU cycles (default 64)\n"
         "  --efficiency E       DAP bandwidth efficiency (default 0.75)\n"
         "  --seed N             workload seed salt\n"
+        "  --remote             enable the remote bandwidth tier\n"
+        "  --remote-scale S     remote BW = DDR BW / S (default 4)\n"
+        "  --remote-latency-ns N  remote latency adder (default 120)\n"
+        "  --remote-outstanding N remote credit window (default 32)\n"
         "  --save-ckpt FILE     snapshot the post-warmup state to FILE\n"
         "  --restore-ckpt FILE  skip warm-up; restore the state from "
         "FILE\n"
@@ -128,6 +136,10 @@ buildConfig(const Options &opt)
     cfg.windowCycles = opt.window;
     cfg.dap.efficiency = opt.efficiency;
     cfg.policy = parsePolicy(opt.policy);
+    cfg.remote.enabled = opt.remote;
+    cfg.remote.bwScaleFactor = opt.remoteScale;
+    cfg.remote.addLatencyNs = opt.remoteLatencyNs;
+    cfg.remote.maxOutstanding = opt.remoteOutstanding;
     return cfg;
 }
 
@@ -165,6 +177,15 @@ main(int argc, char **argv)
             opt.efficiency = std::stod(value());
         else if (a == "--seed")
             opt.seed = std::stoull(value());
+        else if (a == "--remote")
+            opt.remote = true;
+        else if (a == "--remote-scale")
+            opt.remoteScale = std::stod(value());
+        else if (a == "--remote-latency-ns")
+            opt.remoteLatencyNs = std::stod(value());
+        else if (a == "--remote-outstanding")
+            opt.remoteOutstanding = static_cast<std::uint32_t>(
+                std::stoul(value()));
         else if (a == "--save-ckpt")
             opt.saveCkpt = value();
         else if (a == "--restore-ckpt")

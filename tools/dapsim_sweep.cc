@@ -51,6 +51,10 @@ struct Options
     bool quiet = false;
     bool warmupFork = false;
     std::string ckptDir;
+    bool remote = false;
+    double remoteScale = 4.0;
+    double remoteLatencyNs = 120.0;
+    std::uint32_t remoteOutstanding = 32;
 
     // Per-job observability (see src/obs/): every selected output
     // goes to its own file under obsDir, so parallel jobs never
@@ -87,6 +91,10 @@ usage()
         "120000)\n"
         "  --seed N             workload seed salt (default 0)\n"
         "  --jobs N             worker threads (default 1)\n"
+        "  --remote             enable the remote bandwidth tier\n"
+        "  --remote-scale S     remote BW = DDR BW / S (default 4)\n"
+        "  --remote-latency-ns N  remote latency adder (default 120)\n"
+        "  --remote-outstanding N remote credit window (default 32)\n"
         "  --json FILE          also write JSON-lines results to "
         "FILE\n"
         "  --warmup-fork        share one warm-up per (arch, workload,"
@@ -307,6 +315,15 @@ main(int argc, char **argv)
             opt.jobs = parseNumber(a, value());
         else if (a == "--json")
             opt.jsonPath = value();
+        else if (a == "--remote")
+            opt.remote = true;
+        else if (a == "--remote-scale")
+            opt.remoteScale = std::stod(value());
+        else if (a == "--remote-latency-ns")
+            opt.remoteLatencyNs = std::stod(value());
+        else if (a == "--remote-outstanding")
+            opt.remoteOutstanding = static_cast<std::uint32_t>(
+                parseNumber(a, value()));
         else if (a == "--warmup-fork")
             opt.warmupFork = true;
         else if (a == "--ckpt-dir")
@@ -376,6 +393,12 @@ main(int argc, char **argv)
         for (std::uint64_t cap : opt.capacitiesMb) {
             SystemConfig cfg = archConfig(arch, cap);
             cfg.numCores = opt.cores;
+            if (opt.remote) {
+                cfg.remote.enabled = true;
+                cfg.remote.bwScaleFactor = opt.remoteScale;
+                cfg.remote.addLatencyNs = opt.remoteLatencyNs;
+                cfg.remote.maxOutstanding = opt.remoteOutstanding;
+            }
             for (const auto &gw : workloads) {
                 for (const auto &policy : opt.policies) {
                     exp::JobSpec spec;
