@@ -16,6 +16,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,44 @@ benchJobs(int argc, char **argv)
         return v;
     }
     return 1;
+}
+
+/**
+ * Store passthrough for benches whose sweeps share warm-ups: with
+ * `--store DIR` (or DAPSIM_BENCH_STORE) the bench's warmup-fork
+ * checkpoints live in `DIR/ckpt` — the same fleet-wide
+ * content-addressed cache a `dapsim.expq.v1` store and its expd
+ * workers use — so figure reruns and experiment-service sweeps reuse
+ * each other's warm-ups instead of resimulating them. Returns "" when
+ * no store is configured (in-memory warm-up sharing only).
+ */
+inline std::string
+benchStoreDir(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--store")
+            return argv[i + 1];
+    }
+    if (const char *env = std::getenv("DAPSIM_BENCH_STORE"))
+        return env;
+    return "";
+}
+
+/** Enable warmup-fork on @p runner, routed through the store's
+ *  checkpoint cache when a store directory is configured. */
+inline void
+benchWarmupFork(exp::SweepRunner &runner, const std::string &store_dir)
+{
+    if (store_dir.empty()) {
+        runner.setWarmupFork(true, "");
+        return;
+    }
+    const std::string ckpt_dir = store_dir + "/ckpt";
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt_dir, ec);
+    if (ec)
+        fatal("cannot create " + ckpt_dir + ": " + ec.message());
+    runner.setWarmupFork(true, ckpt_dir);
 }
 
 /** Fetch an ok job result or die with the job's captured error. */

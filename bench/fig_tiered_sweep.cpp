@@ -132,7 +132,7 @@ main(int argc, char **argv)
     const SystemConfig cfg = presets::sectoredSystem8();
 
     exp::SweepRunner runner;
-    runner.setWarmupFork(true, "");
+    benchWarmupFork(runner, benchStoreDir(argc, argv));
     const auto bw_first = queueGrid(runner, cfg, kBandwidthGrid, instr);
     const auto lat_first = queueGrid(runner, cfg, kLatencyGrid, instr);
     const auto results = runner.run(benchJobs(argc, argv));

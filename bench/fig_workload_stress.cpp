@@ -121,7 +121,7 @@ main(int argc, char **argv)
     const SystemConfig cfg = presets::sectoredSystem8();
 
     exp::SweepRunner runner;
-    runner.setWarmupFork(true, "");
+    benchWarmupFork(runner, benchStoreDir(argc, argv));
     const auto skew_first = queueGrid(runner, cfg, kSkewDriftGrid, instr);
     const auto tenant_first = queueGrid(runner, cfg, kTenantGrid, instr);
     const auto results = runner.run(benchJobs(argc, argv));

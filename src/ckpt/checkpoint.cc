@@ -3,30 +3,13 @@
 #include <fstream>
 #include <iterator>
 
+#include "common/fsio.hh"
+
 namespace dapsim::ckpt
 {
 
 namespace
 {
-
-/** FNV-1a over a byte span. */
-std::uint64_t
-fnv1a(const std::uint8_t *p, std::size_t n,
-      std::uint64_t h = 1469598103934665603ULL)
-{
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
-std::uint64_t
-fnv1a(const std::vector<std::uint8_t> &v,
-      std::uint64_t h = 1469598103934665603ULL)
-{
-    return fnv1a(v.data(), v.size(), h);
-}
 
 /** Canonicalize a DramConfig's timing/geometry (name excluded). */
 void
@@ -356,6 +339,17 @@ writeFile(const std::string &path, const Checkpoint &ckpt)
               static_cast<std::streamsize>(bytes.size()));
     if (!out)
         throw CkptError("ckpt: write failed: " + path);
+}
+
+void
+writeFileAtomic(const std::string &path, const Checkpoint &ckpt)
+{
+    const std::vector<std::uint8_t> bytes = encode(ckpt);
+    try {
+        fsio::atomicWriteFile(path, bytes.data(), bytes.size());
+    } catch (const std::exception &e) {
+        throw CkptError(std::string("ckpt: ") + e.what());
+    }
 }
 
 Checkpoint

@@ -113,6 +113,15 @@ void writeFile(const std::string &path, const Checkpoint &ckpt);
 Checkpoint readFile(const std::string &path);
 
 /**
+ * writeFile via temp-file + fsync + atomic rename: a reader never
+ * observes a partially written checkpoint, and concurrent writers of
+ * the same path race benignly (identical content under the
+ * content-addressed `warmup-<statehash>.ckpt` naming). Shared warmup
+ * caches must use this form — see exp/warmup_cache.hh.
+ */
+void writeFileAtomic(const std::string &path, const Checkpoint &ckpt);
+
+/**
  * Build a System for (cfg, mix, seed_salt), run the functional warm-up
  * and capture the post-warmup checkpoint. @p instr is recorded in the
  * header (and used for the build) but does not affect the warm state.

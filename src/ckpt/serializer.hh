@@ -307,6 +307,25 @@ class Checkpointable
     virtual void restore(Deserializer &d) = 0;
 };
 
+/** FNV-1a 64-bit hash over a byte span (config/identity hashing). */
+inline std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n,
+      std::uint64_t h = 1469598103934665603ULL)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &v,
+      std::uint64_t h = 1469598103934665603ULL)
+{
+    return fnv1a(v.data(), v.size(), h);
+}
+
 /** CRC32 (IEEE 802.3 polynomial, reflected) over a byte span. */
 inline std::uint32_t
 crc32(const std::uint8_t *data, std::size_t n)

@@ -1,5 +1,7 @@
 #include "exp/job.hh"
 
+#include <cinttypes>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 
@@ -70,12 +72,79 @@ JobSpec::displayLabel() const
     return mix.name + "/" + policyKindName(policy);
 }
 
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+bool
+warmupForkable(const JobSpec &spec)
+{
+    return !spec.custom && spec.instr != 0 && spec.cfg.numCores != 0 &&
+           spec.mix.apps.size() == spec.cfg.numCores;
+}
+
+std::uint64_t
+warmupStateHash(const JobSpec &spec)
+{
+    return ckpt::stateHash(spec.cfg, ckpt::describeMix(spec.mix),
+                           spec.seedSalt,
+                           ckpt::resolveWarmCount(spec.cfg));
+}
+
+std::string
+groupKey(const JobSpec &spec)
+{
+    return warmupForkable(spec) ? hashHex(warmupStateHash(spec))
+                                : std::string();
+}
+
+std::uint64_t
+jobContentHash(const JobSpec &spec)
+{
+    ckpt::Serializer s;
+    s.str("dapsim.job.v1");
+    if (spec.custom || spec.cfg.numCores == 0) {
+        // Custom closures have no canonical form; their id is only as
+        // stable as their label. The experiment service refuses them.
+        s.boolean(true);
+        s.str(spec.displayLabel());
+    } else {
+        s.boolean(false);
+        SystemConfig cfg = spec.cfg;
+        cfg.policy = spec.policy;
+        const std::uint64_t state =
+            ckpt::stateHash(cfg, ckpt::describeMix(spec.mix),
+                            spec.seedSalt,
+                            ckpt::resolveWarmCount(cfg));
+        s.u64(state);
+        s.u64(ckpt::fullHash(state, cfg));
+        s.u64(spec.instr);
+    }
+    s.u64(spec.knobs.size());
+    for (const auto &[k, v] : spec.knobs) { // std::map: sorted order
+        s.str(k);
+        s.str(v);
+    }
+    return ckpt::fnv1a(s.buffer());
+}
+
+std::string
+jobId(const JobSpec &spec)
+{
+    return hashHex(jobContentHash(spec));
+}
+
 JobResult
 runJob(const JobSpec &spec, std::size_t index,
        const ckpt::Checkpoint *fork)
 {
     JobResult out;
     out.index = index;
+    out.jobId = jobId(spec);
     out.label = spec.displayLabel();
     out.archName = archName(spec.cfg.arch);
     out.policyName = policyKindName(spec.policy);

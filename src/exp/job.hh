@@ -66,6 +66,39 @@ struct JobSpec
     std::string displayLabel() const;
 };
 
+/** 16-hex-digit lowercase rendering of a 64-bit hash. */
+std::string hashHex(std::uint64_t h);
+
+/**
+ * Stable content hash of a JobSpec — the "job id".
+ *
+ * Canonical serialization of everything that determines the job's
+ * result: the policy-invariant configuration + access-stream
+ * description + seed + warm-up length (ckpt::stateHash), the policy
+ * kind and its configuration (ckpt::fullHash), the instruction budget,
+ * and the knobs map. Independent of grid order, submission index,
+ * display label, and observability settings, so rows of re-runs
+ * correlate across reordered grids. Custom jobs (which carry an opaque
+ * closure) hash their label instead and are excluded from the
+ * experiment service.
+ */
+std::uint64_t jobContentHash(const JobSpec &spec);
+
+/** jobContentHash as the canonical 16-hex-digit job-id string. */
+std::string jobId(const JobSpec &spec);
+
+/** True when the spec can share a warmup-fork checkpoint (standard,
+ *  well-formed job — the condition SweepRunner::buildForkGroups and
+ *  the expd warmup dedup both use). */
+bool warmupForkable(const JobSpec &spec);
+
+/** The warmup-fork group key (ckpt::stateHash of the spec); only
+ *  meaningful when warmupForkable(). */
+std::uint64_t warmupStateHash(const JobSpec &spec);
+
+/** warmupStateHash as a hex string, or "" when not forkable. */
+std::string groupKey(const JobSpec &spec);
+
 /** Outcome of one job: a RunResult or a captured error. */
 struct JobResult
 {
@@ -75,6 +108,7 @@ struct JobResult
     RunResult result;      ///< valid only when ok
 
     // Spec echo so sinks can serialize without the JobSpec.
+    std::string jobId; ///< stable content hash (see exp::jobId)
     std::string label;
     std::string archName;
     std::string policyName;

@@ -1,5 +1,7 @@
 #include "exp/result_sink.hh"
 
+#include <stdexcept>
+
 #include "common/json_writer.hh"
 
 namespace dapsim::exp
@@ -46,6 +48,7 @@ jobResultToJson(const JobResult &r)
     w.beginObject();
     w.key("schema").value("dapsim.sweep.v1");
     w.key("job").value(static_cast<std::uint64_t>(r.index));
+    w.key("job_id").value(r.jobId);
     w.key("ok").value(r.ok);
     w.key("label").value(r.label);
     w.key("arch").value(r.archName);
@@ -97,12 +100,22 @@ void
 JsonLinesSink::consume(const JobResult &r)
 {
     os_ << jobResultToJson(r) << '\n';
+    // Flush per row so a disk-full/EBADF failure surfaces on the row
+    // that hit it instead of silently vanishing at destruction.
+    os_.flush();
+    if (!os_)
+        throw std::runtime_error(
+            "json-lines sink: write failed (disk full or bad "
+            "stream?)");
 }
 
 void
 JsonLinesSink::end()
 {
     os_.flush();
+    if (!os_)
+        throw std::runtime_error(
+            "json-lines sink: final flush failed");
 }
 
 } // namespace dapsim::exp

@@ -54,7 +54,7 @@ class ConsoleTableSink : public ResultSink
  * JSON-lines sink: one self-contained JSON object per job.
  *
  * Schema (schema id "dapsim.sweep.v1"):
- *   {"schema":"dapsim.sweep.v1","job":N,"ok":true,
+ *   {"schema":"dapsim.sweep.v1","job":N,"job_id":"<16 hex>","ok":true,
  *    "arch":...,"policy":...,"workload":...,"cores":N,"instr":N,
  *    "seed_salt":N,"knobs":{...},
  *    "metrics":{"throughput":...,"ipc":[...],"cycles":N,
@@ -65,6 +65,15 @@ class ConsoleTableSink : public ResultSink
  *               "dap_decisions":{"fwb":N,"wb":N,"ifrm":N,"sfrm":N}}}
  * Failed jobs instead carry "ok":false and an "error" string; they
  * still include the identifying fields so a grid stays rectangular.
+ *
+ * The "job_id" field is the stable JobSpec content hash (exp::jobId),
+ * so rows of the same logical job correlate across reruns even when
+ * grid order — and hence the "job" index — changes.
+ *
+ * Write failures (disk full, revoked descriptor) are detected by
+ * flushing after every row and throw std::runtime_error; the
+ * SweepRunner converts that into a failed JobResult for the affected
+ * job while sibling jobs continue — a row is never silently dropped.
  */
 class JsonLinesSink : public ResultSink
 {

@@ -9,19 +9,6 @@
 namespace dapsim::exp
 {
 
-namespace
-{
-
-std::string
-hashHex(std::uint64_t h)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-    return buf;
-}
-
-} // namespace
-
 std::size_t
 SweepRunner::add(JobSpec spec)
 {
@@ -61,63 +48,12 @@ SweepRunner::buildForkGroups()
         const JobSpec &spec = specs_[i];
         // Only standard, well-formed jobs fork; everything else keeps
         // the unforked path (and custom jobs have no warm-up to share).
-        if (spec.custom || spec.instr == 0 || spec.cfg.numCores == 0 ||
-            spec.mix.apps.size() != spec.cfg.numCores)
+        if (!warmupForkable(spec))
             continue;
-        const std::uint64_t key = ckpt::stateHash(
-            spec.cfg, ckpt::describeMix(spec.mix), spec.seedSalt,
-            ckpt::resolveWarmCount(spec.cfg));
+        const std::uint64_t key = warmupStateHash(spec);
         ForkGroup &g = groups_[key];
         g.stateHash = key;
         jobGroup_[i] = &g;
-    }
-}
-
-void
-SweepRunner::prepareGroup(ForkGroup &group, std::size_t i)
-{
-    const JobSpec &spec = specs_[i];
-    SystemConfig cfg = spec.cfg;
-    cfg.policy = spec.policy;
-
-    const std::string path =
-        ckptDir_.empty()
-            ? std::string()
-            : ckptDir_ + "/warmup-" + hashHex(group.stateHash) + ".ckpt";
-
-    if (!path.empty()) {
-        try {
-            auto loaded = std::make_shared<ckpt::Checkpoint>(
-                ckpt::readFile(path));
-            if (loaded->header.stateHash == group.stateHash) {
-                group.ckpt = std::move(loaded);
-                return;
-            }
-        } catch (const std::exception &) {
-            // Missing or corrupt: regenerate below.
-        }
-    }
-
-    try {
-        auto made = std::make_shared<ckpt::Checkpoint>(
-            ckpt::makeWarmupCheckpoint(cfg, spec.mix, spec.instr,
-                                       spec.seedSalt));
-        ++warmupsExecuted_;
-        if (!path.empty()) {
-            try {
-                ckpt::writeFile(path, *made);
-            } catch (const std::exception &e) {
-                std::fprintf(stderr, "sweep: cannot keep %s: %s\n",
-                             path.c_str(), e.what());
-            }
-        }
-        group.ckpt = std::move(made);
-    } catch (const std::exception &e) {
-        // Leave ckpt null: the group's jobs run their own warm-up.
-        std::fprintf(stderr,
-                     "sweep: shared warmup failed (%s); group runs "
-                     "unforked\n",
-                     e.what());
     }
 }
 
@@ -183,7 +119,11 @@ SweepRunner::execute(std::size_t i)
         std::call_once(g->once, [this, g, i] {
             const double wstart =
                 phaseTracePath_.empty() ? 0.0 : nowUs();
-            prepareGroup(*g, i);
+            const WarmupCache::Result res =
+                warmupCache_->ensure(specs_[i]);
+            g->ckpt = res.ckpt;
+            if (res.executed)
+                ++warmupsExecuted_;
             recordSpan("warmup " + hashHex(g->stateHash), "warmup",
                        wstart, nowUs());
         });
@@ -199,8 +139,22 @@ SweepRunner::drainReady()
 {
     // Caller holds mutex_ (or is single-threaded in serial mode).
     while (nextToDeliver_ < specs_.size() && done_[nextToDeliver_]) {
-        for (ResultSink *sink : sinks_)
-            sink->consume(results_[nextToDeliver_]);
+        JobResult &r = results_[nextToDeliver_];
+        // Every sink sees the result as the job produced it; a sink
+        // failure is applied afterwards so it cannot hide the row
+        // from other sinks, and it fails only this job.
+        std::string sink_error;
+        for (ResultSink *sink : sinks_) {
+            try {
+                sink->consume(r);
+            } catch (const std::exception &e) {
+                sink_error = e.what();
+            }
+        }
+        if (!sink_error.empty() && r.ok) {
+            r.ok = false;
+            r.error = "result sink failed: " + sink_error;
+        }
         ++nextToDeliver_;
     }
 }
@@ -218,6 +172,8 @@ SweepRunner::run(std::size_t threads)
     phaseSpans_.clear();
     workerIds_.clear();
     buildForkGroups();
+    if (warmupFork_)
+        warmupCache_ = std::make_unique<WarmupCache>(ckptDir_);
 
     for (ResultSink *sink : sinks_)
         sink->begin(n);
@@ -248,8 +204,14 @@ SweepRunner::run(std::size_t threads)
         pool.wait();
     }
 
-    for (ResultSink *sink : sinks_)
-        sink->end();
+    for (ResultSink *sink : sinks_) {
+        try {
+            sink->end();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "sweep: sink end() failed: %s\n",
+                         e.what());
+        }
+    }
     writePhaseTrace();
 
     return std::move(results_);

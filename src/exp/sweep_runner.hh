@@ -29,6 +29,7 @@
 
 #include "exp/job.hh"
 #include "exp/result_sink.hh"
+#include "exp/warmup_cache.hh"
 
 namespace dapsim::exp
 {
@@ -66,8 +67,12 @@ class SweepRunner
      *
      * With a non-empty @p ckpt_dir the per-group checkpoints are also
      * kept on disk as `warmup-<statehash>.ckpt` and reused by later
-     * sweeps; unreadable or mismatched files are regenerated. Custom
-     * jobs and jobs that would fail validation run unforked.
+     * sweeps; unreadable or mismatched files are regenerated. The
+     * directory is a fleet-wide WarmupCache: checkpoints are published
+     * with atomic renames and creation is guarded by a lock file, so
+     * any number of concurrent sweeps (or expd workers) sharing the
+     * directory simulate each warmup exactly once. Custom jobs and
+     * jobs that would fail validation run unforked.
      */
     void
     setWarmupFork(bool on, std::string ckpt_dir = "")
@@ -110,15 +115,13 @@ class SweepRunner
         std::shared_ptr<const ckpt::Checkpoint> ckpt;
     };
 
-    /** Deliver any contiguous completed prefix to the sinks. */
+    /** Deliver any contiguous completed prefix to the sinks. A sink
+     *  that throws (e.g. the JSON-lines sink on a full disk) marks the
+     *  affected job failed instead of aborting the sweep. */
     void drainReady();
 
     /** Map each job to its fork group (null = run unforked). */
     void buildForkGroups();
-
-    /** Load-or-execute the shared warm-up of @p group, keyed off the
-     *  spec of @p i, the first job that reached it. */
-    void prepareGroup(ForkGroup &group, std::size_t i);
 
     /** Run job @p i, forking from its group's checkpoint if any. */
     JobResult execute(std::size_t i);
@@ -152,6 +155,7 @@ class SweepRunner
     bool warmupFork_ = false;
     std::string ckptDir_;
     std::atomic<std::uint64_t> warmupsExecuted_{0};
+    std::unique_ptr<WarmupCache> warmupCache_;
     std::map<std::uint64_t, ForkGroup> groups_;
     std::vector<ForkGroup *> jobGroup_;
 

@@ -1,0 +1,217 @@
+#include "expd/ledger.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/serializer.hh"
+#include "common/json_writer.hh"
+
+#include <sys/time.h>
+
+namespace dapsim::expd
+{
+
+double
+wallSeconds()
+{
+    struct timeval tv;
+    ::gettimeofday(&tv, nullptr);
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+namespace
+{
+
+constexpr const char *kCrcMarker = ",\"crc\":\"";
+
+std::uint32_t
+payloadCrc(const std::string &payload)
+{
+    return ckpt::crc32(
+        reinterpret_cast<const std::uint8_t *>(payload.data()),
+        payload.size());
+}
+
+} // namespace
+
+std::string
+sealRecord(const std::string &payload)
+{
+    if (payload.size() < 2 || payload.front() != '{' ||
+        payload.back() != '}')
+        throw StoreError("expq: sealRecord needs a JSON object");
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", payloadCrc(payload));
+    std::string out = payload;
+    out.pop_back(); // final '}'
+    out += kCrcMarker;
+    out += crc;
+    out += "\"}\n";
+    return out;
+}
+
+json::Value
+parseRecord(const std::string &line)
+{
+    // The marker's unescaped quotes cannot occur inside a JSON string
+    // value, so the last occurrence is always the seal.
+    const std::size_t at = line.rfind(kCrcMarker);
+    const std::size_t marker_len = std::char_traits<char>::length(
+        kCrcMarker);
+    if (at == std::string::npos ||
+        line.size() != at + marker_len + 8 + 2 ||
+        line.compare(line.size() - 2, 2, "\"}") != 0)
+        throw StoreError("expq: record has no CRC seal");
+    const std::string payload = line.substr(0, at) + "}";
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "%08x", payloadCrc(payload));
+    if (line.compare(at + marker_len, 8, expect) != 0)
+        throw StoreError("expq: record CRC mismatch");
+    return json::parse(payload);
+}
+
+LedgerContents
+readLedgerText(const std::string &text, const std::string &what)
+{
+    LedgerContents out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool unterminated = nl == std::string::npos;
+        const std::string line =
+            text.substr(pos, unterminated ? std::string::npos
+                                          : nl - pos);
+        pos = unterminated ? text.size() : nl + 1;
+        if (line.empty())
+            continue;
+        const bool is_last = pos >= text.size();
+        try {
+            out.records.push_back(parseRecord(line));
+        } catch (const std::exception &e) {
+            if (is_last) {
+                // O_APPEND + single-write framing means only the tail
+                // can legitimately be torn.
+                out.droppedTornTail = true;
+                return out;
+            }
+            throw StoreError(what + ": corrupt mid-ledger record (" +
+                             e.what() + ")");
+        }
+    }
+    return out;
+}
+
+LedgerContents
+readLedgerFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return readLedgerText(text.str(), path);
+}
+
+std::string
+gridRecord(const GridOptions &opt, std::size_t jobs)
+{
+    // encodeGridOptions() already produces a canonical object; embed
+    // it raw by assembling around it.
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(kSchemaId);
+    w.key("type").value("grid");
+    w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+    w.endObject();
+    std::string head = w.str();
+    head.pop_back(); // '}'
+    head += ",\"options\":" + encodeGridOptions(opt) + "}";
+    return sealRecord(head);
+}
+
+std::string
+jobRecord(const ExpandedJob &job, std::size_t index)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("job");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("id").value(job.id);
+    w.key("group").value(job.group);
+    w.key("label").value(job.spec.displayLabel());
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+std::string
+startRecord(std::size_t index, const std::string &worker)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("start");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("worker").value(worker);
+    w.key("t").value(wallSeconds());
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+std::string
+doneRecord(std::size_t index, const std::string &worker,
+           const std::string &row)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("done");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("worker").value(worker);
+    w.key("t").value(wallSeconds());
+    w.key("row").value(row);
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+std::string
+failedRecord(std::size_t index, const std::string &worker,
+             const std::string &error, const std::string &row)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("failed");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("worker").value(worker);
+    w.key("t").value(wallSeconds());
+    w.key("error").value(error);
+    w.key("row").value(row);
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+std::string
+retryRecord(std::size_t index)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("retry");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+std::string
+warmupRecord(const std::string &group, const std::string &worker,
+             bool executed)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("type").value("warmup");
+    w.key("group").value(group);
+    w.key("worker").value(worker);
+    w.key("executed").value(executed);
+    w.endObject();
+    return sealRecord(w.str());
+}
+
+} // namespace dapsim::expd

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * `dapsim.expq.v1` ledger records: framing, CRC sealing, and the
+ * record vocabulary of the persistent experiment store.
+ *
+ * A ledger is a sequence of newline-terminated JSON objects, each
+ * sealed with a CRC32 of its own bytes. Two physical kinds exist:
+ *
+ *  - The manifest (`grid.jsonl`): written once, atomically, at submit
+ *    time. One `grid` record (schema id, encoded GridOptions, job
+ *    count) followed by one `job` record per expanded grid point
+ *    carrying its index, content-hash id, warmup group and label.
+ *  - Event ledgers (`events/events-<writer>.jsonl`): append-only,
+ *    fsync'd per record, one file per writer so concurrent workers
+ *    never interleave bytes. Records: `start`, `done` (embedding the
+ *    verbatim result row), `failed`, `retry`, `warmup`.
+ *
+ * Torn-write policy: a crash can corrupt only the final record of an
+ * event ledger (O_APPEND + one write(2) per record). readLedger()
+ * therefore DROPS a trailing record that fails to parse or checksum,
+ * but THROWS on a bad record with valid records after it — that is
+ * real corruption, not a crash artifact.
+ */
+
+#ifndef DAPSIM_EXPD_LEDGER_HH
+#define DAPSIM_EXPD_LEDGER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json_reader.hh"
+#include "expd/grid.hh"
+
+namespace dapsim::expd
+{
+
+/** Schema id stamped into every manifest. */
+inline constexpr const char *kSchemaId = "dapsim.expq.v1";
+
+/** Wall-clock seconds since the epoch. Stamped into event records as
+ *  "t" for status/ETA display; never used for anything that must be
+ *  deterministic (result rows carry no timestamps). */
+double wallSeconds();
+
+/** Any store/ledger failure (format, CRC, schema, manifest drift). */
+class StoreError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Seal @p payload — a complete JSON object WITHOUT a crc member — by
+ * splicing `,"crc":"<8 hex>"` before the closing brace, where the CRC
+ * is computed over the payload bytes. Returns the sealed record with a
+ * trailing newline, ready to append.
+ */
+std::string sealRecord(const std::string &payload);
+
+/**
+ * Verify and parse one sealed record (without its newline). Throws
+ * StoreError on a missing/mismatched CRC, json::JsonError on
+ * malformed JSON.
+ */
+json::Value parseRecord(const std::string &line);
+
+/** readLedger outcome. */
+struct LedgerContents
+{
+    std::vector<json::Value> records;
+    /** True when a torn trailing record was dropped. */
+    bool droppedTornTail = false;
+};
+
+/**
+ * Parse ledger @p text (for diagnostics, @p what names the source).
+ * Implements the torn-write policy described in the file comment.
+ */
+LedgerContents readLedgerText(const std::string &text,
+                              const std::string &what);
+
+/** readLedgerText over a file; a missing file is an empty ledger. */
+LedgerContents readLedgerFile(const std::string &path);
+
+// --- Record builders (all return sealed, newline-terminated lines) ---
+
+/** Manifest head: schema, options, job count. */
+std::string gridRecord(const GridOptions &opt, std::size_t jobs);
+
+/** Manifest body: one expanded grid point. */
+std::string jobRecord(const ExpandedJob &job, std::size_t index);
+
+/** A worker leased job @p index and began executing it. */
+std::string startRecord(std::size_t index, const std::string &worker);
+
+/** Job @p index completed; @p row is the verbatim jobResultToJson()
+ *  line (embedded escaped, so merge can reproduce it byte-exactly). */
+std::string doneRecord(std::size_t index, const std::string &worker,
+                       const std::string &row);
+
+/** Job @p index failed; @p row is the failed result's verbatim row
+ *  (kept so merge output stays rectangular), @p error the reason. */
+std::string failedRecord(std::size_t index, const std::string &worker,
+                         const std::string &error,
+                         const std::string &row);
+
+/** A `retry-failed` pass cleared earlier failures of job @p index. */
+std::string retryRecord(std::size_t index);
+
+/** Warmup checkpoint activity for dedup accounting: @p executed when
+ *  this worker simulated the group's warmup, false when it reused a
+ *  fleet checkpoint or waited on another creator. */
+std::string warmupRecord(const std::string &group,
+                         const std::string &worker, bool executed);
+
+} // namespace dapsim::expd
+
+#endif // DAPSIM_EXPD_LEDGER_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The durable `dapsim.expq.v1` experiment store.
+ *
+ * On-disk layout under the store directory:
+ *
+ *   grid.jsonl              manifest: grid + job records, written once
+ *                           atomically at submit time
+ *   events/events-<w>.jsonl one append-only event ledger per writer
+ *                           (worker id or control command)
+ *   leases/job-<i>.lease    O_CREAT|O_EXCL claim for job i, JSON
+ *                           {"pid","host"}, mtime = heartbeat
+ *   ckpt/warmup-<hex>.ckpt  fleet-wide content-addressed warmup
+ *                           checkpoints (exp::WarmupCache layout)
+ *   stderr/job-<i>.txt      captured error text of failed jobs
+ *
+ * Correctness model: job execution is a pure function of the manifest
+ * (see exp/job.hh), so the ledger only has to be *truthful*, never
+ * *exclusive* — two workers racing the same job after a lease expiry
+ * write identical result rows and merge dedups by index. Leases are an
+ * efficiency mechanism; the CRC-sealed append-only ledgers are the
+ * durability mechanism; atomic renames are the publication mechanism.
+ *
+ * Replay derives each job's state order-independently from record
+ * counts: any `done` record wins; otherwise the job is failed when its
+ * `failed` records outnumber its `retry` records; otherwise pending.
+ */
+
+#ifndef DAPSIM_EXPD_STORE_HH
+#define DAPSIM_EXPD_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expd/grid.hh"
+#include "expd/ledger.hh"
+
+namespace dapsim::expd
+{
+
+/** Replayed state of one job. */
+struct JobState
+{
+    enum class State { Pending, Done, Failed };
+
+    State state = State::Pending;
+    std::string row;     ///< verbatim result row (done, or last failure)
+    std::string error;   ///< last failure reason
+    std::string worker;  ///< writer of the winning record
+    std::uint64_t failures = 0;
+    std::uint64_t retries = 0;
+    bool started = false;
+    double doneAt = 0.0; ///< timestamp of the winning done record
+};
+
+/** Full replay of a store's event ledgers. */
+struct Replay
+{
+    std::vector<JobState> jobs;
+    /** Warmup simulations actually executed, per group — the
+     *  fleet-wide dedup invariant is every value == 1. */
+    std::map<std::string, std::uint64_t> warmupsExecuted;
+    /** Per-worker done counts (status display). */
+    std::map<std::string, std::uint64_t> doneByWorker;
+    double firstDoneAt = 0.0;
+    double lastDoneAt = 0.0;
+    bool droppedTornTail = false;
+
+    std::size_t countState(JobState::State s) const;
+};
+
+/**
+ * Handle to a store directory. create() expands the grid and persists
+ * the manifest; open() reads it back, re-expands, and refuses to
+ * proceed when any job id disagrees with the manifest (a different
+ * build would silently redefine what each index means).
+ */
+class Store
+{
+  public:
+    static Store create(const std::string &dir, const GridOptions &opt);
+    static Store open(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+    const GridOptions &options() const { return options_; }
+    const std::vector<ExpandedJob> &jobs() const { return jobs_; }
+
+    std::string eventsDir() const { return dir_ + "/events"; }
+    std::string ckptDir() const { return dir_ + "/ckpt"; }
+    std::string eventsPath(const std::string &writer) const;
+    std::string leasePath(std::size_t index) const;
+    std::string stderrPath(std::size_t index) const;
+
+    /** Read every ledger under events/ and derive job states. */
+    Replay replay() const;
+
+    /**
+     * Try to claim job @p index: reap the existing lease if stale
+     * (same-host dead owner, or mtime older than @p ttl_sec), then
+     * attempt the O_EXCL create. Returns true when this process now
+     * holds the lease.
+     */
+    bool tryLease(std::size_t index, double ttl_sec) const;
+
+    /** Refresh the lease mtime (call within the TTL while running). */
+    void heartbeat(std::size_t index) const;
+
+    /** Drop the lease after recording the job's outcome. */
+    void releaseLease(std::size_t index) const;
+
+    /** True when job @p index currently has a (any) lease file. */
+    bool leased(std::size_t index) const;
+
+    /**
+     * Verbatim result rows in index order for a fully-resolved store
+     * (every job done or failed-with-row); byte-identical to a serial
+     * `dapsim_sweep --json` of the same grid. Throws StoreError when
+     * any job is still unresolved.
+     */
+    std::vector<std::string> mergedRows(const Replay &replay) const;
+
+    /**
+     * Validate one replayed result row against the manifest: CRC was
+     * already checked at the record layer; this checks the row itself
+     * parses, carries the sweep schema id, and names the manifest's
+     * job index and id. Throws StoreError on mismatch.
+     */
+    void verifyRow(std::size_t index, const std::string &row) const;
+
+  private:
+    Store() = default;
+
+    std::string dir_;
+    GridOptions options_;
+    std::vector<ExpandedJob> jobs_;
+};
+
+} // namespace dapsim::expd
+
+#endif // DAPSIM_EXPD_STORE_HH

@@ -1,0 +1,129 @@
+#include "expd/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/fsio.hh"
+#include "exp/result_sink.hh"
+#include "exp/warmup_cache.hh"
+
+namespace dapsim::expd
+{
+
+WorkerStats
+runWorker(const WorkerOptions &opt)
+{
+    if (opt.shardCount == 0 || opt.shardIndex >= opt.shardCount)
+        throw StoreError("expq: worker shard must be i/N with i < N");
+
+    const Store store = Store::open(opt.storeDir);
+    const std::string worker_id =
+        opt.workerId.empty() ? "w" + std::to_string(::getpid())
+                             : opt.workerId;
+    const Replay before = store.replay();
+    exp::WarmupCache warmups(store.ckptDir(), opt.leaseTtlSec);
+    fsio::AppendFile events(store.eventsPath(worker_id));
+
+    // Heartbeat thread: keeps the currently-held lease fresh so slow
+    // jobs are not reaped out from under a healthy worker.
+    std::atomic<long long> held{-1};
+    std::atomic<bool> stop{false};
+    std::thread heartbeat([&] {
+        const auto step = std::chrono::milliseconds(100);
+        auto next = std::chrono::steady_clock::now();
+        while (!stop.load()) {
+            std::this_thread::sleep_for(step);
+            if (std::chrono::steady_clock::now() < next)
+                continue;
+            const long long i = held.load();
+            if (i >= 0)
+                store.heartbeat(static_cast<std::size_t>(i));
+            next = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           opt.leaseTtlSec / 4.0));
+        }
+    });
+
+    WorkerStats stats;
+    const std::size_t n = store.jobs().size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % opt.shardCount != opt.shardIndex)
+            continue;
+        if (opt.maxJobs != 0 &&
+            stats.executed + stats.failed >= opt.maxJobs)
+            break;
+        if (before.jobs[i].state == JobState::State::Done) {
+            ++stats.skipped;
+            continue;
+        }
+        if (!store.tryLease(i, opt.leaseTtlSec)) {
+            // Live owner elsewhere. If it dies, a later pass (or
+            // `resume`) reaps the stale lease; if it finishes, the
+            // done event is already durable. Either way skipping is
+            // safe — and even a lost race that re-runs the job writes
+            // a bit-identical row.
+            ++stats.skipped;
+            continue;
+        }
+        held.store(static_cast<long long>(i));
+
+        const ExpandedJob &job = store.jobs()[i];
+        try {
+            events.append(startRecord(i, worker_id));
+
+            const ckpt::Checkpoint *fork = nullptr;
+            exp::WarmupCache::Result shared;
+            if (!job.group.empty()) {
+                shared = warmups.ensure(job.spec);
+                fork = shared.ckpt.get();
+                if (shared.executed || shared.reused) {
+                    events.append(warmupRecord(job.group, worker_id,
+                                               shared.executed));
+                    stats.warmupsExecuted += shared.executed ? 1 : 0;
+                    stats.warmupsReused += shared.reused ? 1 : 0;
+                }
+            }
+
+            exp::JobResult r = exp::runJob(job.spec, i, fork);
+            const std::string row = exp::jobResultToJson(r);
+            if (r.ok) {
+                events.append(doneRecord(i, worker_id, row));
+                ++stats.executed;
+            } else {
+                fsio::atomicWriteFile(store.stderrPath(i),
+                                      r.error + "\n");
+                events.append(
+                    failedRecord(i, worker_id, r.error, row));
+                ++stats.failed;
+            }
+            if (opt.progress) {
+                std::fprintf(stderr, "[%s] job %zu %s %s\n",
+                             worker_id.c_str(), i,
+                             job.spec.displayLabel().c_str(),
+                             r.ok ? "done"
+                                  : ("FAILED: " + r.error).c_str());
+                std::fflush(stderr);
+            }
+        } catch (...) {
+            held.store(-1);
+            store.releaseLease(i);
+            stop.store(true);
+            heartbeat.join();
+            throw;
+        }
+        held.store(-1);
+        store.releaseLease(i);
+    }
+
+    stop.store(true);
+    heartbeat.join();
+    return stats;
+}
+
+} // namespace dapsim::expd

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The expd worker runtime: lease jobs from a store, execute them, and
+ * append durable result events.
+ *
+ * A worker walks its shard of the manifest (index % shardCount ==
+ * shardIndex), claims each not-yet-done job with an O_EXCL lease,
+ * executes it (sharing warm-up checkpoints through the fleet-wide
+ * WarmupCache in <store>/ckpt), and appends a `done` or `failed`
+ * event — embedding the verbatim result row — to its own event
+ * ledger. A background thread refreshes the lease mtime so a healthy
+ * worker's claim never expires; when a worker is SIGKILLed its lease
+ * goes stale and any later worker reaps and re-runs the job. Because
+ * jobs are pure functions of the manifest, a lease race at worst
+ * duplicates work — never changes results.
+ */
+
+#ifndef DAPSIM_EXPD_WORKER_HH
+#define DAPSIM_EXPD_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "expd/store.hh"
+
+namespace dapsim::expd
+{
+
+/** Knobs of one worker invocation. */
+struct WorkerOptions
+{
+    std::string storeDir;
+    /** Ledger writer id; defaults to "w<pid>" (must be unique per
+     *  live worker — two workers sharing an id would interleave
+     *  appends into one ledger file). */
+    std::string workerId;
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
+    /** Stop after this many executed jobs (0 = the whole shard) —
+     *  test/ops hook for draining a store incrementally. */
+    std::size_t maxJobs = 0;
+    /** Lease heartbeat TTL. A worker silent for longer than this is
+     *  presumed dead and its job returns to pending. */
+    double leaseTtlSec = 60.0;
+    bool progress = false;
+};
+
+/** What one runWorker() call did. */
+struct WorkerStats
+{
+    std::uint64_t executed = 0; ///< jobs run to a done event
+    std::uint64_t failed = 0;   ///< jobs run to a failed event
+    std::uint64_t skipped = 0;  ///< already done or leased elsewhere
+    std::uint64_t warmupsExecuted = 0;
+    std::uint64_t warmupsReused = 0;
+};
+
+/**
+ * Run one worker pass over the store. Throws StoreError (bad store)
+ * or std::runtime_error (I/O) — individual job failures are recorded
+ * as failed events, not thrown.
+ */
+WorkerStats runWorker(const WorkerOptions &opt);
+
+} // namespace dapsim::expd
+
+#endif // DAPSIM_EXPD_WORKER_HH

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "ckpt/checkpoint.hh"
 #include "exp/sweep_runner.hh"
@@ -268,6 +270,66 @@ TEST(Ckpt, FileRoundTripAndMissingFile)
     EXPECT_EQ(rt.payload, ck.payload);
     std::remove(path.c_str());
     EXPECT_THROW(ckpt::readFile(path), ckpt::CkptError);
+}
+
+TEST(Ckpt, AtomicWriteIsNeverTornUnderConcurrentWriters)
+{
+    // Regression test for the shared-warmup-cache reuse race: two
+    // sweeps publishing the same checkpoint path concurrently while a
+    // third loads it. writeFileAtomic (temp file + rename) guarantees
+    // a reader only ever sees one writer's COMPLETE bytes.
+    const std::string path = (std::filesystem::temp_directory_path() /
+                              "dapsim_test_atomic.ckpt")
+                                 .string();
+    std::remove(path.c_str());
+
+    const ckpt::Checkpoint a =
+        ckpt::makeWarmupCheckpoint(noneTiny(), tinyMix("mcf"), kInstr,
+                                   0);
+    const ckpt::Checkpoint b =
+        ckpt::makeWarmupCheckpoint(noneTiny(), tinyMix("mcf"), kInstr,
+                                   1);
+    ASSERT_NE(a.header.fullHash, b.header.fullHash);
+
+    constexpr int kRounds = 200;
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    ckpt::writeFileAtomic(path, a);
+
+    std::thread writer_a([&] {
+        for (int i = 0; i < kRounds; ++i)
+            ckpt::writeFileAtomic(path, a);
+    });
+    std::thread writer_b([&] {
+        for (int i = 0; i < kRounds; ++i)
+            ckpt::writeFileAtomic(path, b);
+    });
+    std::thread reader([&] {
+        while (!stop.load()) {
+            // Every read must decode (CRC-clean) as exactly one of
+            // the two published checkpoints, never a mixture.
+            try {
+                const ckpt::Checkpoint got = ckpt::readFile(path);
+                if (got.header.fullHash == a.header.fullHash) {
+                    if (got.payload != a.payload)
+                        ++torn;
+                } else if (got.header.fullHash == b.header.fullHash) {
+                    if (got.payload != b.payload)
+                        ++torn;
+                } else {
+                    ++torn;
+                }
+            } catch (const ckpt::CkptError &) {
+                ++torn;
+            }
+        }
+    });
+    writer_a.join();
+    writer_b.join();
+    stop = true;
+    reader.join();
+    EXPECT_EQ(torn.load(), 0);
+    std::remove(path.c_str());
 }
 
 TEST(Ckpt, SectoredRestoreIsBitIdentical)

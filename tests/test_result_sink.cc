@@ -14,8 +14,11 @@
 #include <stdexcept>
 #include <string>
 
+#include <vector>
+
 #include "common/json_writer.hh"
 #include "exp/result_sink.hh"
+#include "exp/sweep_runner.hh"
 #include "sim/presets.hh"
 
 namespace dapsim
@@ -144,8 +147,8 @@ parseRecord(const std::string &line)
     return keys;
 }
 
-exp::JobResult
-runTinyJob(PolicyKind policy)
+exp::JobSpec
+tinySpec(PolicyKind policy)
 {
     exp::JobSpec spec;
     spec.cfg = presets::sectoredSystem8();
@@ -158,7 +161,13 @@ runTinyJob(PolicyKind policy)
     spec.policy = policy;
     spec.instr = 2'000;
     spec.knobs["capacity_mb"] = "2";
-    return exp::runJob(spec, 0);
+    return spec;
+}
+
+exp::JobResult
+runTinyJob(PolicyKind policy)
+{
+    return exp::runJob(tinySpec(policy), 0);
 }
 
 TEST(JsonWriter, EscapesControlAndQuoteCharacters)
@@ -175,8 +184,9 @@ TEST(JsonLinesSink, RecordCarriesRequiredKeys)
     const auto keys = parseRecord(line);
 
     for (const char *k :
-         {"schema", "job", "ok", "arch", "policy", "workload",
-          "cores", "instr", "seed_salt", "metrics.throughput",
+         {"schema", "job", "job_id", "ok", "arch", "policy",
+          "workload", "cores", "instr", "seed_salt",
+          "metrics.throughput",
           "metrics.ipc", "metrics.cycles", "metrics.ms_hit_ratio",
           "metrics.mm_cas_fraction", "metrics.l3_mpki",
           "metrics.read_gbps", "metrics.dap_decisions.fwb",
@@ -222,6 +232,30 @@ TEST(JsonLinesSink, FailedJobBecomesErrorRecord)
     EXPECT_FALSE(keys.count("metrics.throughput"));
 }
 
+TEST(JsonLinesSink, JobIdIsTheStableContentHash)
+{
+    const exp::JobSpec spec = tinySpec(PolicyKind::Dap);
+    const std::string id = exp::jobId(spec);
+    ASSERT_EQ(id.size(), 16u);
+    for (char c : id)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+            << "non-hex job id char: " << c;
+
+    const auto keys =
+        parseRecord(exp::jobResultToJson(exp::runJob(spec, 0)));
+    EXPECT_EQ(keys.at("job_id"), "\"" + id + "\"");
+
+    // Error records keep the id so a grid stays correlatable.
+    exp::JobSpec boom;
+    boom.label = "boom";
+    boom.custom = []() -> RunResult {
+        throw std::runtime_error("nope");
+    };
+    const auto ekeys =
+        parseRecord(exp::jobResultToJson(exp::runJob(boom, 1)));
+    EXPECT_EQ(ekeys.at("job_id"), "\"" + exp::jobId(boom) + "\"");
+}
+
 TEST(JsonLinesSink, WritesOneLinePerJob)
 {
     std::ostringstream os;
@@ -238,6 +272,87 @@ TEST(JsonLinesSink, WritesOneLinePerJob)
         parseRecord(line);
     }
     EXPECT_EQ(lines, 2u);
+}
+
+// ---- sink failure paths ----------------------------------------
+
+/** A streambuf on which every write fails — EBADF/disk-full stand-in. */
+class FailingBuf : public std::streambuf
+{
+  protected:
+    int_type
+    overflow(int_type) override
+    {
+        return traits_type::eof();
+    }
+};
+
+TEST(JsonLinesSink, WriteFailureThrowsInsteadOfDropping)
+{
+    FailingBuf buf;
+    std::ostream os(&buf);
+    exp::JsonLinesSink sink(os);
+    const exp::JobResult r = runTinyJob(PolicyKind::Baseline);
+    EXPECT_THROW(sink.consume(r), std::runtime_error);
+}
+
+/** Throws on one specific submission index, consumes the rest. */
+class ThrowOnIndexSink : public exp::ResultSink
+{
+  public:
+    explicit ThrowOnIndexSink(std::size_t index) : index_(index) {}
+
+    void
+    consume(const exp::JobResult &r) override
+    {
+        if (r.index == index_)
+            throw std::runtime_error("disk full");
+    }
+
+  private:
+    std::size_t index_;
+};
+
+/** Records the submission order of everything it is fed. */
+class RecordingSink : public exp::ResultSink
+{
+  public:
+    void
+    consume(const exp::JobResult &r) override
+    {
+        indices.push_back(r.index);
+    }
+
+    std::vector<std::size_t> indices;
+};
+
+TEST(SweepRunner, SinkFailureFailsOnlyTheAffectedJob)
+{
+    exp::SweepRunner runner;
+    for (int i = 0; i < 3; ++i) {
+        exp::JobSpec spec;
+        spec.label = "job" + std::to_string(i);
+        spec.custom = []() { return RunResult{}; };
+        runner.add(std::move(spec));
+    }
+    ThrowOnIndexSink bad(1);
+    RecordingSink good;
+    runner.addSink(&bad);
+    runner.addSink(&good);
+
+    const auto results = runner.run(1);
+    ASSERT_EQ(results.size(), 3u);
+    // The job whose row could not be persisted is failed, loudly.
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("result sink failed"),
+              std::string::npos);
+    EXPECT_NE(results[1].error.find("disk full"), std::string::npos);
+    // Siblings complete, and downstream sinks still saw every row in
+    // submission order — a sink failure is never a silent drop.
+    EXPECT_TRUE(results[2].ok) << results[2].error;
+    EXPECT_EQ(good.indices,
+              (std::vector<std::size_t>{0, 1, 2}));
 }
 
 } // namespace

@@ -8,11 +8,19 @@
  * how jobs interleave, and the metrics are bit-identical for any
  * --jobs value (each job owns its whole simulation state).
  *
+ * The grid expansion itself lives in src/expd/grid.cc and is shared
+ * with the persistent experiment service: --dry-run prints the
+ * expansion (stable job ids + warmup group keys) without simulating,
+ * and --store DIR submits the grid to a durable `dapsim.expq.v1`
+ * store for dapsim_expd workers instead of running it here.
+ *
  * Examples:
  *   dapsim_sweep --policy baseline,dap --workload sensitive --jobs 4
  *   dapsim_sweep --arch sectored,alloy --workload mcf,lbm \
  *                --jobs 8 --json bench/out/sweep.jsonl
  *   dapsim_sweep --capacity-mb 32,64,128 --policy dap --workload all
+ *   dapsim_sweep --workload all --dry-run
+ *   dapsim_sweep --workload all --store bench/out/store
  */
 
 #include <cctype>
@@ -22,14 +30,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "exp/result_sink.hh"
 #include "exp/sweep_runner.hh"
-#include "sim/presets.hh"
-#include "workload/compose.hh"
+#include "expd/store.hh"
 #include "workload/spec.hh"
 
 using namespace dapsim;
@@ -39,22 +46,14 @@ namespace
 
 struct Options
 {
-    std::vector<std::string> archs{"sectored"};
-    std::vector<std::string> policies{"baseline", "dap"};
-    std::vector<std::string> workloads{"sensitive"};
-    std::vector<std::uint64_t> capacitiesMb{0}; // 0 = preset default
-    std::uint32_t cores = 8;
-    std::uint64_t instr = 120'000;
-    std::uint64_t seed = 0;
+    expd::GridOptions grid;
     std::size_t jobs = 1;
     std::string jsonPath;
     bool quiet = false;
+    bool dryRun = false;
+    std::string storeDir;
     bool warmupFork = false;
     std::string ckptDir;
-    bool remote = false;
-    double remoteScale = 4.0;
-    double remoteLatencyNs = 120.0;
-    std::uint32_t remoteOutstanding = 32;
 
     // Per-job observability (see src/obs/): every selected output
     // goes to its own file under obsDir, so parallel jobs never
@@ -90,6 +89,8 @@ usage()
         "  --instr N            instructions per core (default "
         "120000)\n"
         "  --seed N             workload seed salt (default 0)\n"
+        "  --warmup N           warm-up accesses per core (default: "
+        "preset)\n"
         "  --jobs N             worker threads (default 1)\n"
         "  --remote             enable the remote bandwidth tier\n"
         "  --remote-scale S     remote BW = DDR BW / S (default 4)\n"
@@ -97,6 +98,13 @@ usage()
         "  --remote-outstanding N remote credit window (default 32)\n"
         "  --json FILE          also write JSON-lines results to "
         "FILE\n"
+        "  --dry-run            print the expanded grid (index, job "
+        "id,\n"
+        "                       warmup group, label) and exit\n"
+        "  --store DIR          submit the grid as a dapsim.expq.v1 "
+        "store\n"
+        "                       for dapsim_expd workers instead of "
+        "running\n"
         "  --warmup-fork        share one warm-up per (arch, workload,"
         " seed)\n"
         "                       group via checkpoints (bit-identical "
@@ -132,112 +140,6 @@ parseNumber(const std::string &flag, const std::string &s)
     return v;
 }
 
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-        const std::size_t comma = s.find(',', pos);
-        const std::size_t end =
-            comma == std::string::npos ? s.size() : comma;
-        if (end > pos)
-            out.push_back(s.substr(pos, end - pos));
-        pos = end + 1;
-    }
-    if (out.empty())
-        fatal("empty list argument");
-    return out;
-}
-
-/**
- * Split a --workload list. Workload-engine specs contain commas
- * themselves (zipf:skew=0.99,fp=64M), so after the plain comma split
- * any token that is a key=value continuation — it has an '=' before
- * any ':' — is folded back into the preceding element. Classic
- * profile names never contain '=', so their behaviour is unchanged:
- *
- *   "mcf,zipf:skew=0.99,fp=64M,flood" ->
- *       ["mcf", "zipf:skew=0.99,fp=64M", "flood"]
- */
-std::vector<std::string>
-splitWorkloadList(const std::string &s)
-{
-    std::vector<std::string> out;
-    for (const auto &tok : splitList(s)) {
-        const std::size_t eq = tok.find('=');
-        const std::size_t colon = tok.find(':');
-        const bool continuation =
-            eq != std::string::npos &&
-            (colon == std::string::npos || eq < colon);
-        if (continuation && !out.empty())
-            out.back() += "," + tok;
-        else if (continuation)
-            fatal("--workload: '" + tok +
-                  "' continues a spec but no spec precedes it");
-        else
-            out.push_back(tok);
-    }
-    return out;
-}
-
-/** A grid workload: a resolved profile, a composed workload-engine
- *  spec, or an unknown name kept so its grid points surface as error
- *  records instead of killing the whole sweep. */
-struct GridWorkload
-{
-    WorkloadProfile profile;
-    bool known = true;
-    bool isSpec = false;
-    workload::ComposedMix composed; ///< when isSpec
-};
-
-std::vector<GridWorkload>
-resolveWorkloads(const std::vector<std::string> &names,
-                 std::uint32_t cores)
-{
-    std::vector<GridWorkload> out;
-    auto push = [&out](const WorkloadProfile &w) {
-        out.push_back({w, true, false, {}});
-    };
-    for (const auto &name : names) {
-        if (name == "all") {
-            for (const auto &w : allWorkloads())
-                push(w);
-        } else if (name == "sensitive") {
-            for (const auto &w : bandwidthSensitiveWorkloads())
-                push(w);
-        } else if (name == "insensitive") {
-            for (const auto &w : bandwidthInsensitiveWorkloads())
-                push(w);
-        } else {
-            bool found = false;
-            for (const auto &w : allWorkloads()) {
-                if (w.name == name) {
-                    push(w);
-                    found = true;
-                    break;
-                }
-            }
-            if (found)
-                continue;
-            if (workload::looksLikeSpec(name)) {
-                // Malformed specs fatal() here, before any job runs.
-                GridWorkload gw;
-                gw.known = true;
-                gw.isSpec = true;
-                gw.composed = workload::composeWorkload(name, cores);
-                out.push_back(std::move(gw));
-            } else {
-                WorkloadProfile unknown;
-                unknown.name = name;
-                out.push_back({unknown, false, false, {}});
-            }
-        }
-    }
-    return out;
-}
-
 /** Filesystem-safe job label: '/' and other separators become '_'. */
 std::string
 sanitizeLabel(const std::string &label)
@@ -261,26 +163,6 @@ obsStem(const std::string &dir, std::size_t index,
     return dir + "/" + num + "-" + sanitizeLabel(label);
 }
 
-SystemConfig
-archConfig(const std::string &arch, std::uint64_t capacity_mb)
-{
-    SystemConfig cfg;
-    if (arch == "sectored") {
-        cfg = presets::sectoredSystem8();
-        if (capacity_mb)
-            cfg.sectored.capacityBytes = capacity_mb * kMiB;
-    } else if (arch == "alloy") {
-        cfg = presets::alloySystem8();
-        if (capacity_mb)
-            cfg.alloy.capacityBytes = capacity_mb * kMiB;
-    } else if (arch == "edram") {
-        cfg = presets::edramSystem8(capacity_mb ? capacity_mb : 4);
-    } else {
-        fatal("unknown arch: " + arch);
-    }
-    return cfg;
-}
-
 } // namespace
 
 int
@@ -295,34 +177,40 @@ main(int argc, char **argv)
             return argv[i];
         };
         if (a == "--arch")
-            opt.archs = splitList(value());
+            opt.grid.archs = expd::splitList(value());
         else if (a == "--policy")
-            opt.policies = splitList(value());
+            opt.grid.policies = expd::splitList(value());
         else if (a == "--workload")
-            opt.workloads = splitWorkloadList(value());
+            opt.grid.workloads = expd::splitWorkloadList(value());
         else if (a == "--capacity-mb") {
-            opt.capacitiesMb.clear();
-            for (const auto &c : splitList(value()))
-                opt.capacitiesMb.push_back(parseNumber(a, c));
+            opt.grid.capacitiesMb.clear();
+            for (const auto &c : expd::splitList(value()))
+                opt.grid.capacitiesMb.push_back(parseNumber(a, c));
         } else if (a == "--cores")
-            opt.cores = static_cast<std::uint32_t>(
+            opt.grid.cores = static_cast<std::uint32_t>(
                 parseNumber(a, value()));
         else if (a == "--instr")
-            opt.instr = parseNumber(a, value());
+            opt.grid.instr = parseNumber(a, value());
         else if (a == "--seed")
-            opt.seed = parseNumber(a, value());
+            opt.grid.seed = parseNumber(a, value());
+        else if (a == "--warmup")
+            opt.grid.warmup = parseNumber(a, value());
         else if (a == "--jobs")
             opt.jobs = parseNumber(a, value());
         else if (a == "--json")
             opt.jsonPath = value();
+        else if (a == "--dry-run")
+            opt.dryRun = true;
+        else if (a == "--store")
+            opt.storeDir = value();
         else if (a == "--remote")
-            opt.remote = true;
+            opt.grid.remote = true;
         else if (a == "--remote-scale")
-            opt.remoteScale = std::stod(value());
+            opt.grid.remoteScale = std::stod(value());
         else if (a == "--remote-latency-ns")
-            opt.remoteLatencyNs = std::stod(value());
+            opt.grid.remoteLatencyNs = std::stod(value());
         else if (a == "--remote-outstanding")
-            opt.remoteOutstanding = static_cast<std::uint32_t>(
+            opt.grid.remoteOutstanding = static_cast<std::uint32_t>(
                 parseNumber(a, value()));
         else if (a == "--warmup-fork")
             opt.warmupFork = true;
@@ -385,74 +273,60 @@ main(int argc, char **argv)
             fatal("cannot create " + opt.obsDir + ": " + ec.message());
     }
 
-    const std::vector<GridWorkload> workloads =
-        resolveWorkloads(opt.workloads, opt.cores);
+    if (opt.dryRun) {
+        const auto expanded = expd::expandGrid(opt.grid);
+        for (std::size_t i = 0; i < expanded.size(); ++i)
+            std::printf("%zu\t%s\t%s\t%s\n", i,
+                        expanded[i].id.c_str(),
+                        expanded[i].group.empty()
+                            ? "-"
+                            : expanded[i].group.c_str(),
+                        expanded[i].spec.displayLabel().c_str());
+        return 0;
+    }
+
+    if (!opt.storeDir.empty()) {
+        try {
+            const expd::Store store =
+                expd::Store::create(opt.storeDir, opt.grid);
+            std::fprintf(stderr,
+                         "submitted %zu jobs to %s; run workers "
+                         "with:\n  dapsim_expd run --store %s\n",
+                         store.jobs().size(), opt.storeDir.c_str(),
+                         opt.storeDir.c_str());
+        } catch (const std::exception &e) {
+            fatal(e.what());
+        }
+        return 0;
+    }
+
+    std::vector<expd::ExpandedJob> expanded =
+        expd::expandGrid(opt.grid);
+    if (expanded.empty())
+        fatal("empty sweep grid");
 
     exp::SweepRunner runner;
-    for (const auto &arch : opt.archs) {
-        for (std::uint64_t cap : opt.capacitiesMb) {
-            SystemConfig cfg = archConfig(arch, cap);
-            cfg.numCores = opt.cores;
-            if (opt.remote) {
-                cfg.remote.enabled = true;
-                cfg.remote.bwScaleFactor = opt.remoteScale;
-                cfg.remote.addLatencyNs = opt.remoteLatencyNs;
-                cfg.remote.maxOutstanding = opt.remoteOutstanding;
+    for (expd::ExpandedJob &job : expanded) {
+        if (perJobObs && !job.spec.custom) {
+            const std::string stem = obsStem(
+                opt.obsDir, runner.jobCount(),
+                job.spec.mix.name + "/" +
+                    exp::policyKindName(job.spec.policy));
+            if (opt.sampleEvery) {
+                job.spec.cfg.obs.sampleEvery = opt.sampleEvery;
+                job.spec.cfg.obs.sampleFormat = opt.sampleFormat;
+                job.spec.cfg.obs.sampleOut =
+                    stem + (opt.sampleFormat == obs::SampleFormat::Csv
+                                ? ".samples.csv"
+                                : ".samples.jsonl");
             }
-            for (const auto &gw : workloads) {
-                for (const auto &policy : opt.policies) {
-                    exp::JobSpec spec;
-                    spec.cfg = cfg;
-                    spec.policy = exp::policyKindFromName(policy);
-                    spec.instr = opt.instr;
-                    spec.seedSalt = opt.seed;
-                    spec.knobs["arch"] = arch;
-                    if (cap)
-                        spec.knobs["capacity_mb"] =
-                            std::to_string(cap);
-                    if (gw.isSpec) {
-                        spec.mix = gw.composed.mix;
-                        spec.cfg.obs.coreTenants =
-                            gw.composed.coreTenants;
-                    } else if (gw.known) {
-                        spec.mix = rateMix(gw.profile, opt.cores);
-                    } else {
-                        spec.mix.name = gw.profile.name;
-                        spec.label = gw.profile.name + "/" + policy;
-                        const std::string name = gw.profile.name;
-                        spec.custom = [name]() -> RunResult {
-                            throw std::invalid_argument(
-                                "unknown workload: " + name);
-                        };
-                    }
-                    if (perJobObs && gw.known) {
-                        const std::string stem = obsStem(
-                            opt.obsDir, runner.jobCount(),
-                            spec.mix.name + "/" + policy);
-                        if (opt.sampleEvery) {
-                            spec.cfg.obs.sampleEvery = opt.sampleEvery;
-                            spec.cfg.obs.sampleFormat =
-                                opt.sampleFormat;
-                            spec.cfg.obs.sampleOut =
-                                stem + (opt.sampleFormat ==
-                                                obs::SampleFormat::Csv
-                                            ? ".samples.csv"
-                                            : ".samples.jsonl");
-                        }
-                        if (opt.dapTrace)
-                            spec.cfg.obs.dapTrace =
-                                stem + ".daptrace.jsonl";
-                        if (opt.chromeTrace)
-                            spec.cfg.obs.chromeTrace =
-                                stem + ".trace.json";
-                    }
-                    runner.add(std::move(spec));
-                }
-            }
+            if (opt.dapTrace)
+                job.spec.cfg.obs.dapTrace = stem + ".daptrace.jsonl";
+            if (opt.chromeTrace)
+                job.spec.cfg.obs.chromeTrace = stem + ".trace.json";
         }
+        runner.add(std::move(job.spec));
     }
-    if (runner.jobCount() == 0)
-        fatal("empty sweep grid");
 
     exp::ConsoleTableSink console;
     if (!opt.quiet)
