@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "common/fsio.hh"
+#include "sim/fidelity_runner.hh"
 
 namespace dapsim::ckpt
 {
@@ -427,8 +428,7 @@ runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
     sys.restore(d, fork);
     if (!d.atEnd())
         throw CkptError("ckpt: trailing bytes after the last section");
-    sys.run();
-    return harvest(sys, mix.name);
+    return runFidelityOn(sys, mix.name, instr_per_core);
 }
 
 } // namespace dapsim::ckpt

@@ -61,7 +61,7 @@ DramSystem::casOps() const
 std::uint64_t
 DramSystem::casReads() const
 {
-    std::uint64_t n = 0;
+    std::uint64_t n = ffReads_;
     for (const auto &c : channels_)
         n += c->casReads.value();
     return n;
@@ -70,7 +70,7 @@ DramSystem::casReads() const
 std::uint64_t
 DramSystem::casWrites() const
 {
-    std::uint64_t n = 0;
+    std::uint64_t n = ffWrites_;
     for (const auto &c : channels_)
         n += c->casWrites.value();
     return n;

@@ -43,10 +43,25 @@ class DramSystem
 
     const DramConfig &config() const { return cfg_; }
 
-    /** Total column operations issued (the paper's CAS count). */
+    /** Total column operations issued (the paper's CAS count).
+     *  Includes fast-forward credits (creditFastForward). */
     std::uint64_t casOps() const;
     std::uint64_t casReads() const;
     std::uint64_t casWrites() const;
+
+    /**
+     * Fast-forward bypass accounting: add modeled CAS counts from an
+     * analytically priced interval so casOps()/casReads()/casWrites()
+     * (and thus bandwidth stats) cover fast-forwarded traffic. The
+     * channels, queues and row-buffer state never see these accesses.
+     * Never called in exact fidelity.
+     */
+    void
+    creditFastForward(std::uint64_t reads, std::uint64_t writes)
+    {
+        ffReads_ += reads;
+        ffWrites_ += writes;
+    }
     std::uint64_t rowHits() const;
     std::uint64_t rowMisses() const;
 
@@ -87,6 +102,10 @@ class DramSystem
     EventQueue &eq_;
     DramConfig cfg_;
     std::vector<std::unique_ptr<Channel>> channels_;
+    /** Fast-forward credits (not part of any channel's state; zero in
+     *  exact fidelity, so checkpoints never carry them). */
+    std::uint64_t ffReads_ = 0;
+    std::uint64_t ffWrites_ = 0;
 };
 
 } // namespace dapsim

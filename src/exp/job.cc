@@ -123,6 +123,23 @@ jobContentHash(const JobSpec &spec)
         s.u64(state);
         s.u64(ckpt::fullHash(state, cfg));
         s.u64(spec.instr);
+        // Fidelity alters the result without altering the warm state,
+        // so the config hashes above cannot see it. Appended only for
+        // reduced-fidelity jobs: exact jobs keep their historical ids,
+        // while stores never dedup or resume across fidelity levels
+        // (tests/test_fidelity.cc proves both).
+        const FidelityConfig &fid = spec.cfg.fidelity;
+        if (fid.mode != FidelityMode::Exact) {
+            s.str("fidelity");
+            s.u32(static_cast<std::uint32_t>(fid.mode));
+            s.u64(fid.detailInstr);
+            s.u64(fid.periodInstr);
+            s.u64(fid.detailWarmupInstr);
+            s.u64(fid.analyticInstr);
+            s.f64(fid.analyticLatencyCycles);
+            s.f64(fid.analyticBwDerate);
+            s.f64(fid.ewmaAlpha);
+        }
     }
     s.u64(spec.knobs.size());
     for (const auto &[k, v] : spec.knobs) { // std::map: sorted order

@@ -96,10 +96,41 @@ jobResultToJson(const JobResult &r)
     return w.str();
 }
 
+std::string
+fidelityReportToJson(const JobResult &r)
+{
+    if (!r.ok || !r.result.fidelity.valid)
+        return "";
+    const FidelityReport &f = r.result.fidelity;
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("dapsim.fidelity.v1");
+    w.key("job").value(static_cast<std::uint64_t>(r.index));
+    w.key("job_id").value(r.jobId);
+    w.key("mode").value(f.mode);
+    w.key("windows").value(f.windows);
+    w.key("detailed_instr").value(f.detailedInstr);
+    w.key("fast_forward_instr").value(f.fastForwardInstr);
+    w.key("detail_fraction").value(f.detailFraction);
+    w.key("ipc_mean").value(f.ipcMean);
+    w.key("ipc_ci_half").value(f.ipcCiHalf);
+    w.key("ms_gbps_mean").value(f.msGBpsMean);
+    w.key("ms_gbps_ci_half").value(f.msGBpsCiHalf);
+    w.key("mm_gbps_mean").value(f.mmGBpsMean);
+    w.key("mm_gbps_ci_half").value(f.mmGBpsCiHalf);
+    w.key("remote_gbps_mean").value(f.remoteGBpsMean);
+    w.key("remote_gbps_ci_half").value(f.remoteGBpsCiHalf);
+    w.endObject();
+    return w.str();
+}
+
 void
 JsonLinesSink::consume(const JobResult &r)
 {
     os_ << jobResultToJson(r) << '\n';
+    const std::string fidelity = fidelityReportToJson(r);
+    if (!fidelity.empty())
+        os_ << fidelity << '\n';
     // Flush per row so a disk-full/EBADF failure surfaces on the row
     // that hit it instead of silently vanishing at destruction.
     os_.flush();

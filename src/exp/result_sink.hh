@@ -90,6 +90,29 @@ class JsonLinesSink : public ResultSink
 /** Serialize one JobResult as a single JSON-lines record (no '\n'). */
 std::string jobResultToJson(const JobResult &r);
 
+/**
+ * Serialize a job's fidelity report as a companion JSON-lines record
+ * (schema id "dapsim.fidelity.v1"), or "" when the job failed or ran
+ * at exact fidelity (exact runs carry no report, so sweep output stays
+ * byte-identical to pre-fidelity builds).
+ *
+ * Schema:
+ *   {"schema":"dapsim.fidelity.v1","job":N,"job_id":"<16 hex>",
+ *    "mode":"sampled"|"analytic","windows":N,"detailed_instr":N,
+ *    "fast_forward_instr":N,"detail_fraction":...,
+ *    "ipc_mean":...,"ipc_ci_half":...,
+ *    "ms_gbps_mean":...,"ms_gbps_ci_half":...,
+ *    "mm_gbps_mean":...,"mm_gbps_ci_half":...,
+ *    "remote_gbps_mean":...,"remote_gbps_ci_half":...}
+ *
+ * JsonLinesSink emits this as a second line directly after the job's
+ * dapsim.sweep.v1 row. The expq merge path intentionally does NOT —
+ * merge replays the verbatim recorded rows, and fidelity rows would
+ * break its byte-identity contract with serial sweep output for
+ * stores recorded before this schema existed.
+ */
+std::string fidelityReportToJson(const JobResult &r);
+
 } // namespace dapsim::exp
 
 #endif // DAPSIM_EXP_RESULT_SINK_HH

@@ -155,6 +155,13 @@ expandGrid(const GridOptions &opt)
                 cfg.remote.addLatencyNs = opt.remoteLatencyNs;
                 cfg.remote.maxOutstanding = opt.remoteOutstanding;
             }
+            if (!fidelityModeFromName(opt.fidelity,
+                                      cfg.fidelity.mode))
+                fatal("unknown fidelity: " + opt.fidelity);
+            if (opt.fidelityDetail)
+                cfg.fidelity.detailInstr = opt.fidelityDetail;
+            if (opt.fidelityPeriod)
+                cfg.fidelity.periodInstr = opt.fidelityPeriod;
             for (const auto &gw : workloads) {
                 for (const auto &policy : opt.policies) {
                     exp::JobSpec spec;
@@ -163,6 +170,8 @@ expandGrid(const GridOptions &opt)
                     spec.instr = opt.instr;
                     spec.seedSalt = opt.seed;
                     spec.knobs["arch"] = arch;
+                    if (!cfg.fidelity.exact())
+                        spec.knobs["fidelity"] = opt.fidelity;
                     if (cap)
                         spec.knobs["capacity_mb"] =
                             std::to_string(cap);
@@ -220,6 +229,9 @@ encodeGridOptions(const GridOptions &opt)
     w.key("remote_scale").value(opt.remoteScale);
     w.key("remote_latency_ns").value(opt.remoteLatencyNs);
     w.key("remote_outstanding").value(opt.remoteOutstanding);
+    w.key("fidelity").value(opt.fidelity);
+    w.key("fidelity_detail").value(opt.fidelityDetail);
+    w.key("fidelity_period").value(opt.fidelityPeriod);
     w.endObject();
     return w.str();
 }
@@ -249,6 +261,14 @@ decodeGridOptions(const json::Value &v)
     opt.remoteLatencyNs = v.at("remote_latency_ns").asDouble();
     opt.remoteOutstanding = static_cast<std::uint32_t>(
         v.at("remote_outstanding").asU64());
+    // Fidelity keys postdate dapsim.expq.v1 manifests; stores written
+    // before them decode with the exact-mode defaults.
+    if (const json::Value *f = v.find("fidelity"))
+        opt.fidelity = f->asString();
+    if (const json::Value *f = v.find("fidelity_detail"))
+        opt.fidelityDetail = f->asU64();
+    if (const json::Value *f = v.find("fidelity_period"))
+        opt.fidelityPeriod = f->asU64();
     return opt;
 }
 

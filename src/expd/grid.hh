@@ -47,6 +47,13 @@ struct GridOptions
     double remoteScale = 4.0;
     double remoteLatencyNs = 120.0;
     std::uint32_t remoteOutstanding = 32;
+    /** Fidelity mode name ("exact", "sampled", "analytic"); validated
+     *  at submit. Reduced-fidelity runs carry a "fidelity" knob so
+     *  result rows and job ids stay distinguishable. */
+    std::string fidelity = "exact";
+    /** Sampled-mode knobs; 0 keeps FidelityConfig defaults. */
+    std::uint64_t fidelityDetail = 0;
+    std::uint64_t fidelityPeriod = 0;
 };
 
 /** One expanded grid point: the runnable spec plus its identity. */

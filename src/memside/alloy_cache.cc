@@ -209,12 +209,13 @@ AlloyCache::fill(Addr addr)
     array_.access(tadAddr(set), true, nullptr, cfg_.tadExtraClocks);
 }
 
-void
+bool
 AlloyCache::warmTouch(Addr addr, bool is_write)
 {
     const std::uint64_t set = setOf(addr);
     const std::uint64_t tag = tagOf(addr);
     Line *l = dir_.find(set, tag);
+    const bool hit = l != nullptr;
     if (l == nullptr) {
         dir_.insert(set, tag, Line{}); // direct-mapped: replaces victim
         l = dir_.find(set, tag);
@@ -223,6 +224,7 @@ AlloyCache::warmTouch(Addr addr, bool is_write)
         l->dirty = true;
     dbc_.update(blockNumber(addr), l->dirty);
     trainPredictor(addr, true);
+    return hit;
 }
 
 void

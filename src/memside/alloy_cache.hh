@@ -69,7 +69,13 @@ class AlloyCache final : public MemSideCache
      *  derated by the TAD bloat (2/3 at the default burst). */
     double effectivePeakAccPerCycle() const;
 
-    void warmTouch(Addr addr, bool is_write) override;
+    bool warmTouch(Addr addr, bool is_write) override;
+
+    void
+    creditFastForward(std::uint64_t reads, std::uint64_t writes) override
+    {
+        array_.creditFastForward(reads, writes);
+    }
 
     void save(ckpt::Serializer &s) const override;
     void restore(ckpt::Deserializer &d) override;

@@ -172,7 +172,7 @@ EdramCache::allocateSector(Addr addr, std::uint64_t sec,
     return demand_fill;
 }
 
-void
+bool
 EdramCache::warmTouch(Addr addr, bool is_write)
 {
     const std::uint64_t sec = sectorNumber(addr);
@@ -181,6 +181,7 @@ EdramCache::warmTouch(Addr addr, bool is_write)
     const std::uint32_t blk = blkOf(addr);
 
     SectorMeta *m = dir_.find(set, tag);
+    const bool hit = m != nullptr && (is_write || m->isValid(blk));
     if (m == nullptr) {
         const std::uint64_t mask = footprint_.predict(sec, blk);
         auto victim = dir_.insert(set, tag, SectorMeta{});
@@ -197,6 +198,7 @@ EdramCache::warmTouch(Addr addr, bool is_write)
         m->setDirty(blk);
     else
         m->setValid(blk);
+    return hit;
 }
 
 void

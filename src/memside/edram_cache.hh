@@ -81,7 +81,14 @@ class EdramCache final : public MemSideCache
         return cfg_.writeChannels.peakAccessesPerCpuCycle();
     }
 
-    void warmTouch(Addr addr, bool is_write) override;
+    bool warmTouch(Addr addr, bool is_write) override;
+
+    void
+    creditFastForward(std::uint64_t reads, std::uint64_t writes) override
+    {
+        readArray_.creditFastForward(reads, 0);
+        writeArray_.creditFastForward(0, writes);
+    }
 
     void save(ckpt::Serializer &s) const override;
     void restore(ckpt::Deserializer &d) override;

@@ -58,8 +58,37 @@ class MemSideCache
      * Functional warm-up touch: update directories (and tag cache /
      * footprint history) with zero timing and zero statistics, so a
      * short timed measurement starts from a steady-state cache.
+     * Returns whether the touch hit (block present before the touch);
+     * architectures without a directory report misses.
      */
-    virtual void warmTouch(Addr, bool /*is_write*/) {}
+    virtual bool warmTouch(Addr, bool /*is_write*/) { return false; }
+
+    /**
+     * Fast-forward bypass accounting: fold modeled array CAS counts
+     * from an analytically priced interval into arrayCasOps() so
+     * delivered-bandwidth statistics cover fast-forwarded traffic.
+     * Timing and directory state are untouched. Default: no-op
+     * (MS$-less systems have no array). Never called in exact
+     * fidelity.
+     */
+    virtual void creditFastForward(std::uint64_t /*reads*/,
+                                   std::uint64_t /*writes*/)
+    {
+    }
+
+    /**
+     * Functional policy warm-up at a sampled window entry: feed one
+     * modeled steady-state window to the policy so credit state
+     * re-converges before the next detailed segment, and clear the
+     * partially accumulated demand counters. Never called in exact
+     * fidelity.
+     */
+    void
+    warmPolicyWindow(const WindowCounters &modeled)
+    {
+        policy_.beginWindow(modeled);
+        window_ = WindowCounters{};
+    }
 
     /**
      * Start the recurring W-cycle window that feeds demand counters to

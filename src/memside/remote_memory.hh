@@ -110,6 +110,21 @@ class RemoteMemory
         return inFlight_.size() + pending_.size();
     }
 
+    /**
+     * Fast-forward bypass accounting: add modeled transfer counts from
+     * an analytically priced interval so reads/writes (and thus
+     * dataBytes() and bandwidth stats) cover fast-forwarded traffic.
+     * The link and its latency tracking never see these transfers
+     * (meanReadLatency() stays the detailed-segment mean). Never
+     * called in exact fidelity.
+     */
+    void
+    creditFastForward(std::uint64_t r, std::uint64_t w)
+    {
+        reads.inc(r);
+        writes.inc(w);
+    }
+
     /** Attach a bus observability hook; @p source names this tier in
      *  emitted spans. Null detaches. */
     void

@@ -384,7 +384,7 @@ SectoredDramCache::handleWrite(Addr addr)
     array_.access(dataAddr(sec, blk), true);
 }
 
-void
+bool
 SectoredDramCache::warmTouch(Addr addr, bool is_write)
 {
     const std::uint64_t sec = sectorNumber(addr);
@@ -395,6 +395,7 @@ SectoredDramCache::warmTouch(Addr addr, bool is_write)
     tagCache_.access(set); // warm the tag cache (stats reset later)
 
     SectorMeta *m = dir_.find(set, tag);
+    const bool hit = m != nullptr && (is_write || m->isValid(blk));
     if (m == nullptr) {
         const std::uint64_t mask = footprint_.predict(sec, blk);
         auto victim = dir_.insert(set, tag, SectorMeta{});
@@ -411,6 +412,7 @@ SectoredDramCache::warmTouch(Addr addr, bool is_write)
         m->setDirty(blk);
     else
         m->setValid(blk);
+    return hit;
 }
 
 bool

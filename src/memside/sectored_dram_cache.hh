@@ -82,7 +82,13 @@ class SectoredDramCache final : public MemSideCache
 
     void cleanRegion(Addr a) override { cleanSector(a); }
     void flushSetImpl(std::uint64_t set) override { flushSet(set); }
-    void warmTouch(Addr addr, bool is_write) override;
+    bool warmTouch(Addr addr, bool is_write) override;
+
+    void
+    creditFastForward(std::uint64_t reads, std::uint64_t writes) override
+    {
+        array_.creditFastForward(reads, writes);
+    }
 
     /** Test/diagnostic probe: is this block valid in the cache? */
     bool isBlockResident(Addr addr) const;

@@ -1,0 +1,416 @@
+#include "sim/fidelity_runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+#include "dap/analytic_engine.hh"
+
+namespace dapsim
+{
+
+namespace
+{
+
+/** GB/s of @p acc_per_cycle 64B accesses at the CPU clock. */
+double
+gbpsOf(double acc_per_cycle)
+{
+    const double bytes_per_second =
+        acc_per_cycle * static_cast<double>(kBlockBytes) *
+        (static_cast<double>(kPsPerSecond) /
+         static_cast<double>(kCpuPeriodPs));
+    return bytes_per_second / 1e9;
+}
+
+/** Mean and 95% CI half-width over per-window samples, with the
+ *  configured relative floor (windows are not IID). */
+void
+meanAndCi(const std::vector<double> &xs, double min_rel_ci,
+          double &mean_out, double &half_out)
+{
+    mean_out = 0.0;
+    half_out = 0.0;
+    if (xs.empty())
+        return;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    const double n = static_cast<double>(xs.size());
+    const double m = s / n;
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - m) * (x - m);
+    var = xs.size() > 1 ? var / (n - 1.0) : 0.0;
+    const double se = std::sqrt(var / n);
+    mean_out = m;
+    half_out = std::max(1.96 * se, min_rel_ci * std::abs(m));
+}
+
+std::uint64_t
+llroundU64(double v)
+{
+    return v <= 0.0 ? 0
+                    : static_cast<std::uint64_t>(std::llround(v));
+}
+
+/** One modeled steady-state demand window (cfg.windowCycles long) at
+ *  the engine's smoothed rates, for functional DAP-credit warm-up. */
+WindowCounters
+modeledWindow(const fastfwd::AnalyticEngine &eng, Cycle window_cycles)
+{
+    WindowCounters wc;
+    const double n =
+        std::max(eng.predictIpc(), 0.0) *
+        static_cast<double>(window_cycles);
+    wc.aMsRead = llroundU64(eng.msReadsPerInstr() * n);
+    wc.aMsWrite = llroundU64(eng.msWritesPerInstr() * n);
+    wc.aMs = wc.aMsRead + wc.aMsWrite;
+    const double lower = eng.mmPerInstr() + eng.remotePerInstr();
+    wc.aMm = llroundU64(lower * n);
+    wc.aRemote = llroundU64(eng.remotePerInstr() * n);
+    // Coarse decision-point estimates: lower-tier reads are the fill
+    // candidates, array writes stand in for L3 dirty evictions. The
+    // next detailed segment's real windows re-drive learning; this
+    // only keeps credits from decaying to cold-start state.
+    wc.readMisses = llroundU64(
+        (eng.mmReadsPerInstr() + eng.remReadsPerInstr()) * n);
+    wc.writes = wc.aMsWrite;
+    wc.cleanHits = 0;
+    wc.lookups = wc.aMs + wc.aMm;
+    wc.hits = wc.aMs;
+    return wc;
+}
+
+/** The three efficiency-derated peak bandwidths of @p sys. */
+void
+peaksOf(System &sys, double &b_ms, double &b_mm, double &b_rem)
+{
+    const SystemConfig &cfg = sys.config();
+    b_ms = cfg.arch == MsArch::None ? 0.0 : msPeakAccPerCycle(cfg);
+    b_mm = cfg.mainMemory.peakAccessesPerCpuCycle();
+    b_rem = sys.remoteMemory()
+                ? sys.remoteMemory()->peakAccessesPerCpuCycle()
+                : 0.0;
+}
+
+RunResult
+runSampled(System &sys, const std::string &mix_name,
+           std::uint64_t instr_per_core)
+{
+    const SystemConfig &cfg = sys.config();
+    const FidelityConfig &fid = cfg.fidelity;
+    const std::uint64_t detail = std::max<std::uint64_t>(
+        1, fid.detailInstr);
+    const std::uint64_t period = std::max(fid.periodInstr, detail);
+
+    double b_ms = 0.0, b_mm = 0.0, b_rem = 0.0;
+    peaksOf(sys, b_ms, b_mm, b_rem);
+    fastfwd::AnalyticEngine engine(b_ms, b_mm, b_rem,
+                                   cfg.dap.efficiency, fid.ewmaAlpha);
+
+    // Per-window samples feeding the error-bound report.
+    std::vector<double> wIpc, wMsGBps, wMmGBps, wRemGBps;
+    std::uint64_t detailedInstr = 0;
+
+    // Detailed warm-up heads are sampling overhead, not part of the
+    // estimated trajectory: their event-time cycles (pipeline re-fill
+    // transient) are swapped for the same instructions priced at that
+    // window's measured IPC, exactly as SMARTS excludes warming from
+    // its CPI estimate.
+    std::uint64_t warmCycles = 0;
+    double warmModeledCycles = 0.0;
+
+    // Fast-forward accounting (event time never covers these).
+    std::uint64_t ffCycles = 0, ffInstr = 0;
+    std::uint64_t ffReads = 0, ffL3Misses = 0;
+    std::vector<std::uint64_t> ffInstrPerCore(cfg.numCores, 0);
+
+    sys.startRun();
+    std::uint64_t assigned = 0;       // per-core instructions covered
+    std::uint64_t detailedTarget = 0; // per-core cumulative target
+    while (assigned < instr_per_core) {
+        const std::uint64_t chunk =
+            std::min(period, instr_per_core - assigned);
+        const std::uint64_t d = std::min(detail, chunk);
+        const std::uint64_t skip = chunk - d;
+
+        // Detailed warm-up head: fast-forward drained all in-flight
+        // misses, so the pipeline re-fills over the first instructions
+        // of every window. Simulate them in detail but keep them out
+        // of the measured sample (SMARTS detailed warm-up) — the
+        // transient would bias window IPC low. Clamped to half the
+        // segment so the measured window can never degenerate to a
+        // handful of instructions.
+        const std::uint64_t warm =
+            std::min(fid.detailWarmupInstr, d / 2);
+        const std::uint64_t beforeRetired =
+            sys.sourceSnapshot().retired;
+        const Tick tickWarmStart = sys.eventQueue().now();
+        if (warm > 0)
+            sys.runDetailedUntilRetired(detailedTarget + warm);
+
+        const System::SourceSnapshot before = sys.sourceSnapshot();
+        const Tick tickBefore = sys.eventQueue().now();
+        detailedTarget += d;
+        sys.runDetailedUntilRetired(detailedTarget);
+        const System::SourceSnapshot after = sys.sourceSnapshot();
+        const Tick tickAfter = sys.eventQueue().now();
+
+        fastfwd::WindowSample w;
+        w.instr = after.retired - before.retired;
+        w.cycles = (tickAfter - tickBefore) / kCpuPeriodPs;
+        w.msReads = after.msReads - before.msReads;
+        w.msWrites = after.msWrites - before.msWrites;
+        w.mmReads = after.mmReads - before.mmReads;
+        w.mmWrites = after.mmWrites - before.mmWrites;
+        w.remReads = after.remReads - before.remReads;
+        w.remWrites = after.remWrites - before.remWrites;
+        engine.observe(w);
+        detailedInstr += after.retired - beforeRetired;
+        if (w.cycles > 0) {
+            const double cyc = static_cast<double>(w.cycles);
+            const double ipc = static_cast<double>(w.instr) / cyc;
+            if (w.instr > 0 && ipc > 0.0) {
+                warmCycles += (tickBefore - tickWarmStart) /
+                              kCpuPeriodPs;
+                warmModeledCycles +=
+                    static_cast<double>(before.retired -
+                                        beforeRetired) /
+                    ipc;
+            }
+            wIpc.push_back(static_cast<double>(w.instr) / cyc);
+            wMsGBps.push_back(gbpsOf(
+                static_cast<double>(w.msReads + w.msWrites) / cyc));
+            wMmGBps.push_back(gbpsOf(
+                static_cast<double>(w.mmReads + w.mmWrites) / cyc));
+            wRemGBps.push_back(gbpsOf(
+                static_cast<double>(w.remReads + w.remWrites) / cyc));
+        }
+        assigned += d;
+
+        if (skip > 0 && !engine.ready()) {
+            // No observed window yet — the measured segment can
+            // retire in zero event-time right after a drain, leaving
+            // the engine with no rates to extrapolate. Fast-forward
+            // would price the skip at the pessimistic floor and
+            // poison the stitched total, so run it detailed instead
+            // (unmeasured: it is priming, not a sample).
+            const std::uint64_t primeBefore =
+                sys.sourceSnapshot().retired;
+            detailedTarget += skip;
+            sys.runDetailedUntilRetired(detailedTarget);
+            detailedInstr +=
+                sys.sourceSnapshot().retired - primeBefore;
+            assigned += skip;
+        } else if (skip > 0) {
+            const System::FastForwardPull pull = sys.fastForward(skip);
+            const fastfwd::FastForwardChunk priced =
+                engine.fastForward(pull.instr);
+            sys.creditFastForward(priced);
+            ffCycles += priced.cycles;
+            ffInstr += pull.instr;
+            ffReads += pull.reads;
+            ffL3Misses += pull.l3Misses;
+            for (std::uint32_t i = 0; i < cfg.numCores; ++i)
+                ffInstrPerCore[i] += pull.instrPerCore[i];
+            sys.warmPolicyWindow(
+                modeledWindow(engine, cfg.windowCycles));
+            assigned += skip;
+        }
+    }
+    sys.finishRun();
+
+    RunResult r = harvest(sys, mix_name);
+
+    // Stitch fast-forwarded time and work back into the whole-run
+    // metrics: event time only covers the detailed segments, and the
+    // warm-up heads' transient cycles are re-priced at measured IPC.
+    const std::uint64_t totalCycles =
+        r.cycles - std::min(warmCycles, r.cycles) +
+        llroundU64(warmModeledCycles) + ffCycles;
+    r.cycles = totalCycles;
+    std::uint64_t totalInstr = 0, reads = 0;
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i) {
+        const std::uint64_t ci =
+            sys.core(i).retiredInstructions() + ffInstrPerCore[i];
+        totalInstr += ci;
+        reads += sys.core(i).readsIssued.value();
+        r.ipc[i] = totalCycles
+                       ? static_cast<double>(ci) /
+                             static_cast<double>(totalCycles)
+                       : 0.0;
+    }
+    reads += ffReads;
+    if (totalInstr > 0)
+        r.l3Mpki = static_cast<double>(sys.l3().misses.value() +
+                                       ffL3Misses) *
+                   1000.0 / static_cast<double>(totalInstr);
+    const double seconds =
+        static_cast<double>(totalCycles) *
+        static_cast<double>(kCpuPeriodPs) /
+        static_cast<double>(kPsPerSecond);
+    if (seconds > 0.0)
+        r.readGBps = static_cast<double>(reads) * kBlockBytes /
+                     seconds / 1e9;
+
+    FidelityReport &rep = r.fidelity;
+    rep.valid = true;
+    rep.mode = "sampled";
+    rep.windows = wIpc.size();
+    rep.detailedInstr = detailedInstr;
+    rep.fastForwardInstr = ffInstr;
+    const std::uint64_t covered = detailedInstr + ffInstr;
+    rep.detailFraction =
+        covered ? static_cast<double>(detailedInstr) /
+                      static_cast<double>(covered)
+                : 0.0;
+    meanAndCi(wIpc, fid.minRelCi, rep.ipcMean, rep.ipcCiHalf);
+    meanAndCi(wMsGBps, fid.minRelCi, rep.msGBpsMean, rep.msGBpsCiHalf);
+    meanAndCi(wMmGBps, fid.minRelCi, rep.mmGBpsMean, rep.mmGBpsCiHalf);
+    meanAndCi(wRemGBps, fid.minRelCi, rep.remoteGBpsMean,
+              rep.remoteGBpsCiHalf);
+    return r;
+}
+
+RunResult
+runAnalytic(System &sys, const std::string &mix_name,
+            std::uint64_t instr_per_core)
+{
+    const SystemConfig &cfg = sys.config();
+    const FidelityConfig &fid = cfg.fidelity;
+
+    // Functional measurement pass: advance every stream through the
+    // warm path to learn the post-L3 access mix. No event time.
+    const System::FastForwardPull pull = sys.fastForward(
+        std::max<std::uint64_t>(1, fid.analyticInstr));
+    const double instr =
+        static_cast<double>(std::max<std::uint64_t>(1, pull.instr));
+
+    const double readMissPerInstr =
+        static_cast<double>(pull.msReads) / instr;
+    const double missReads =
+        static_cast<double>(pull.msReads - pull.msHits);
+    double arrayPerInstr = 0.0, lowerPerInstr = 0.0;
+    if (cfg.arch == MsArch::None) {
+        lowerPerInstr =
+            static_cast<double>(pull.msReads + pull.msWritebacks) /
+            instr;
+    } else {
+        // Hit reads + incoming writes + fills hit the array; misses
+        // fetch from the lower tier.
+        arrayPerInstr = (static_cast<double>(pull.msHits) +
+                         static_cast<double>(pull.msWritebacks) +
+                         missReads) /
+                        instr;
+        lowerPerInstr = missReads / instr;
+    }
+
+    double b_ms = 0.0, b_mm = 0.0, b_rem = 0.0;
+    peaksOf(sys, b_ms, b_mm, b_rem);
+    // Lower-tier split at the Eq 4 optimum (what DAP-n converges to).
+    const double remShare =
+        b_rem > 0.0 ? b_rem / (b_mm + b_rem) : 0.0;
+    const double remPerInstr = lowerPerInstr * remShare;
+    const double mmPerInstr = lowerPerInstr - remPerInstr;
+
+    // Per-core IPC ceiling: retire width, bounded by MLP via Little's
+    // law at the configured mean service latency.
+    const double width = static_cast<double>(cfg.core.retireWidth);
+    double ipc0 = width;
+    if (readMissPerInstr > 0.0 && fid.analyticLatencyCycles > 0.0) {
+        const double mlp_bound =
+            static_cast<double>(cfg.core.maxOutstanding) /
+            (fid.analyticLatencyCycles * readMissPerInstr);
+        ipc0 = std::min(ipc0, mlp_bound);
+    }
+
+    fastfwd::AnalyticEngine engine(b_ms, b_mm, b_rem,
+                                   cfg.dap.efficiency, fid.ewmaAlpha);
+    const double perInstr = arrayPerInstr + mmPerInstr + remPerInstr;
+    const double cores = static_cast<double>(cfg.numCores);
+    const double offered = perInstr * ipc0 * cores;
+    double scale = 1.0;
+    if (offered > 0.0) {
+        // analyticBwDerate: sustained bandwidth falls short of the
+        // steady-state optimum (partition lag, bursty arrivals); see
+        // FidelityConfig.
+        const double delivered =
+            fid.analyticBwDerate *
+            engine.deliveredAccPerCycle(arrayPerInstr, mmPerInstr,
+                                        remPerInstr);
+        scale = std::min(1.0, delivered / offered);
+    }
+    const double ipcCore = std::max(ipc0 * scale, 1e-9);
+    const double ipcAgg = ipcCore * cores;
+
+    RunResult r;
+    r.mixName = mix_name;
+    r.policyName = sys.policy().name();
+    r.ipc.assign(cfg.numCores, ipcCore);
+    r.cycles = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(instr_per_core) / ipcCore));
+    const double msDemandR = static_cast<double>(pull.msReads);
+    const double msDemandW = static_cast<double>(pull.msWritebacks);
+    const double msDemand = msDemandR + msDemandW;
+    r.msHitRatio =
+        msDemand > 0.0
+            ? (static_cast<double>(pull.msHits) + msDemandW) / msDemand
+            : 0.0;
+    r.msReadMissRatio = msDemandR > 0.0 ? missReads / msDemandR : 0.0;
+    r.mmCasFraction =
+        lowerPerInstr + arrayPerInstr > 0.0
+            ? mmPerInstr / (mmPerInstr + arrayPerInstr)
+            : 0.0;
+    r.l3Mpki =
+        static_cast<double>(pull.l3Misses) * 1000.0 / instr;
+    const double totalInstr =
+        static_cast<double>(instr_per_core) * cores;
+    const double seconds = static_cast<double>(r.cycles) *
+                           static_cast<double>(kCpuPeriodPs) /
+                           static_cast<double>(kPsPerSecond);
+    if (seconds > 0.0)
+        r.readGBps = static_cast<double>(pull.reads) / instr *
+                     totalInstr * kBlockBytes / seconds / 1e9;
+
+    FidelityReport &rep = r.fidelity;
+    rep.valid = true;
+    rep.mode = "analytic";
+    rep.windows = 1;
+    rep.detailedInstr = 0;
+    rep.fastForwardInstr = static_cast<std::uint64_t>(totalInstr);
+    rep.detailFraction = 0.0;
+    rep.ipcMean = ipcAgg;
+    rep.ipcCiHalf = fid.analyticRelBound * ipcAgg;
+    rep.msGBpsMean = gbpsOf(arrayPerInstr * ipcAgg);
+    rep.msGBpsCiHalf = fid.analyticRelBound * rep.msGBpsMean;
+    rep.mmGBpsMean = gbpsOf(mmPerInstr * ipcAgg);
+    rep.mmGBpsCiHalf = fid.analyticRelBound * rep.mmGBpsMean;
+    rep.remoteGBpsMean = gbpsOf(remPerInstr * ipcAgg);
+    rep.remoteGBpsCiHalf = fid.analyticRelBound * rep.remoteGBpsMean;
+    return r;
+}
+
+} // namespace
+
+RunResult
+runFidelityOn(System &sys, const std::string &mix_name,
+              std::uint64_t instr_per_core)
+{
+    switch (sys.config().fidelity.mode) {
+      case FidelityMode::Exact:
+        // The pre-fidelity sequence, verbatim: bit-identity with
+        // historical results is load-bearing (tests/test_fidelity.cc).
+        sys.run();
+        return harvest(sys, mix_name);
+      case FidelityMode::Sampled:
+        return runSampled(sys, mix_name, instr_per_core);
+      case FidelityMode::Analytic:
+        return runAnalytic(sys, mix_name, instr_per_core);
+    }
+    fatal("runFidelityOn: unknown fidelity mode");
+    return {};
+}
+
+} // namespace dapsim

@@ -53,9 +53,18 @@ class L3Cache
      */
     void access(Addr addr, bool is_write, Done done);
 
+    /** What one warmTouch() did (fast-forward measurement inputs). */
+    struct WarmOutcome
+    {
+        bool l3Hit = false;      ///< block was present in the L3
+        bool msRead = false;     ///< a read reached the MS$ warm path
+        bool msHit = false;      ///< ...and found its block there
+        bool msWriteback = false; ///< a dirty victim reached the MS$
+    };
+
     /** Functional warm-up: update the directory and forward misses to
      *  the MS$'s warm path; no timing, no statistics. */
-    void warmTouch(Addr addr, bool is_write);
+    WarmOutcome warmTouch(Addr addr, bool is_write);
 
     double
     missRatio() const

@@ -16,6 +16,35 @@ namespace dapsim
 
 class System;
 
+/**
+ * Fidelity metadata attached to a reduced-fidelity run (the
+ * `dapsim.fidelity.v1` report row). Invalid (all zero) for exact runs,
+ * which keeps exact-mode outputs byte-identical to pre-fidelity
+ * builds. Confidence half-widths are 95% normal intervals over the
+ * detailed windows' per-window means, floored at
+ * FidelityConfig::minRelCi relative (windows of one run are not IID;
+ * the floor documents the achievable resolution). Analytic runs have
+ * one "window" and report the floor.
+ */
+struct FidelityReport
+{
+    bool valid = false;
+    std::string mode; ///< "sampled" or "analytic"
+
+    std::uint64_t windows = 0;         ///< detailed windows measured
+    std::uint64_t detailedInstr = 0;   ///< aggregate instructions, detailed
+    std::uint64_t fastForwardInstr = 0;///< aggregate instructions, modeled
+    double detailFraction = 0.0;       ///< detailed / total instructions
+
+    double ipcMean = 0.0;    ///< aggregate IPC over detailed windows
+    double ipcCiHalf = 0.0;  ///< 95% CI half-width on ipcMean
+
+    // Per-source delivered bandwidth over detailed windows (GB/s).
+    double msGBpsMean = 0.0, msGBpsCiHalf = 0.0;
+    double mmGBpsMean = 0.0, mmGBpsCiHalf = 0.0;
+    double remoteGBpsMean = 0.0, remoteGBpsCiHalf = 0.0;
+};
+
 /** Everything a bench needs from one simulation run. */
 struct RunResult
 {
@@ -38,6 +67,9 @@ struct RunResult
     std::uint64_t wb = 0;
     std::uint64_t ifrm = 0;
     std::uint64_t sfrm = 0;
+
+    /** Reduced-fidelity metadata; invalid for exact runs. */
+    FidelityReport fidelity{};
 
     /** Sum of per-core IPCs (throughput). */
     double throughput() const;

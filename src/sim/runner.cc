@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/log.hh"
+#include "sim/fidelity_runner.hh"
 
 namespace dapsim
 {
@@ -26,8 +27,7 @@ runMix(SystemConfig cfg, const Mix &mix, std::uint64_t instr_per_core,
         warm = 2 * (cfg.msCapacityBytes() / kBlockBytes) /
                cfg.numCores;
     sys.warmup(warm);
-    sys.run();
-    return harvest(sys, mix.name);
+    return runFidelityOn(sys, mix.name, instr_per_core);
 }
 
 double

@@ -743,7 +743,7 @@ System::restore(ckpt::Deserializer &d, bool skip_policy)
 }
 
 void
-System::run(Tick max_ticks)
+System::startRun()
 {
     // Sampling starts here rather than at construction so checkpoint
     // save/restore (tick 0, construction-time events only) still sees
@@ -753,10 +753,112 @@ System::run(Tick max_ticks)
     ms_->startWindows(cfg_.windowCycles);
     for (auto &c : cores_)
         c->start();
-    eq_.runUntil([this] { return allCoresFinished(); }, max_ticks);
+}
+
+void
+System::finishRun()
+{
     ms_->stopWindows();
     if (obs_)
         obs_->sampler().stop();
+}
+
+void
+System::run(Tick max_ticks)
+{
+    startRun();
+    eq_.runUntil([this] { return allCoresFinished(); }, max_ticks);
+    finishRun();
+}
+
+void
+System::runDetailedUntilRetired(std::uint64_t target_per_core,
+                                Tick max_ticks)
+{
+    eq_.runUntil(
+        [this, target_per_core] {
+            for (const auto &c : cores_)
+                if (c->retiredInstructions() < target_per_core)
+                    return false;
+            return true;
+        },
+        max_ticks);
+}
+
+System::FastForwardPull
+System::fastForward(std::uint64_t instr_per_core)
+{
+    FastForwardPull out;
+    out.instrPerCore.assign(cfg_.numCores, 0);
+    TraceRequest req;
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        std::uint64_t done = 0;
+        while (done < instr_per_core && gens_[i]->next(req)) {
+            // Each record occupies its gap plus the memory op itself,
+            // matching RobCore's fetch accounting.
+            done += req.instrGap + 1;
+            if (req.isWrite)
+                ++out.writes;
+            else
+                ++out.reads;
+            const L3Cache::WarmOutcome o =
+                l3_->warmTouch(req.addr, req.isWrite);
+            if (o.l3Hit)
+                ++out.l3Hits;
+            else
+                ++out.l3Misses;
+            if (o.msRead) {
+                ++out.msReads;
+                if (o.msHit)
+                    ++out.msHits;
+            }
+            if (o.msWriteback)
+                ++out.msWritebacks;
+        }
+        out.instrPerCore[i] = done;
+        out.instr += done;
+    }
+    return out;
+}
+
+System::SourceSnapshot
+System::sourceSnapshot() const
+{
+    SourceSnapshot out;
+    for (const auto &c : cores_)
+        out.retired += c->retiredInstructions();
+    if (auto *sc = dynamic_cast<SectoredDramCache *>(ms_.get())) {
+        out.msReads = sc->array().casReads();
+        out.msWrites = sc->array().casWrites();
+    } else if (auto *ac = dynamic_cast<AlloyCache *>(ms_.get())) {
+        out.msReads = ac->array().casReads();
+        out.msWrites = ac->array().casWrites();
+    } else if (auto *ec = dynamic_cast<EdramCache *>(ms_.get())) {
+        out.msReads = ec->readArray().casOps();
+        out.msWrites = ec->writeArray().casOps();
+    }
+    out.mmReads = mm_->casReads();
+    out.mmWrites = mm_->casWrites();
+    if (remote_) {
+        out.remReads = remote_->reads.value();
+        out.remWrites = remote_->writes.value();
+    }
+    return out;
+}
+
+void
+System::creditFastForward(const fastfwd::FastForwardChunk &ff)
+{
+    ms_->creditFastForward(ff.msReads, ff.msWrites);
+    mm_->creditFastForward(ff.mmReads, ff.mmWrites);
+    if (remote_)
+        remote_->creditFastForward(ff.remReads, ff.remWrites);
+}
+
+void
+System::warmPolicyWindow(const WindowCounters &modeled)
+{
+    ms_->warmPolicyWindow(modeled);
 }
 
 } // namespace dapsim

@@ -13,6 +13,7 @@
 
 #include "cpu/rob_core.hh"
 #include "cpu/stride_prefetcher.hh"
+#include "dap/analytic_engine.hh"
 #include "dap/dap_controller.hh"
 #include "dram/presets.hh"
 #include "memside/alloy_cache.hh"
@@ -23,6 +24,7 @@
 #include "policies/batman.hh"
 #include "policies/bear.hh"
 #include "policies/sbd.hh"
+#include "sim/fidelity.hh"
 #include "sim/l3_cache.hh"
 #include "trace/access_gen.hh"
 
@@ -92,6 +94,13 @@ struct SystemConfig
      *  0 selects ~2x the MS$ capacity in aggregate block touches. */
     std::uint64_t warmupAccessesPerCore = 0;
 
+    /** Simulation fidelity (exact / sampled / analytic). Exact keeps
+     *  the historical cycle-accurate path bit-identical; the other
+     *  modes are driven by sim/fidelity_runner.cc. Excluded from
+     *  checkpoint state hashing — the warm state is fidelity-
+     *  invariant. */
+    FidelityConfig fidelity{};
+
     /** Opt-in observability (time-series sampling, DAP tracing,
      *  Chrome trace export); all outputs default to off. Excluded
      *  from checkpoint state hashing — observers never alter
@@ -128,6 +137,72 @@ class System
     /** Run until every core has retired its instruction target (or
      *  @p max_ticks elapses). */
     void run(Tick max_ticks = ~Tick(0) >> 1);
+
+    /**
+     * The pieces of run() factored out so the sampled-fidelity runner
+     * can interleave detailed segments with analytic fast-forward:
+     * startRun() arms sampling/windows and starts the cores,
+     * finishRun() halts them. run() is exactly startRun() +
+     * runUntil(allCoresFinished) + finishRun().
+     */
+    void startRun();
+    void finishRun();
+
+    /**
+     * Dispatch events until every core has retired at least
+     * @p target_per_core instructions (cumulative since start), or
+     * @p max_ticks elapses. Cores keep their own instruction targets
+     * (rate mode); this is the sampled-fidelity detailed-segment loop.
+     */
+    void runDetailedUntilRetired(std::uint64_t target_per_core,
+                                 Tick max_ticks = ~Tick(0) >> 1);
+
+    /** What one fastForward() call pulled through the warm path. */
+    struct FastForwardPull
+    {
+        std::uint64_t reads = 0;        ///< demand reads pulled
+        std::uint64_t writes = 0;       ///< demand writes pulled
+        std::uint64_t l3Hits = 0;
+        std::uint64_t l3Misses = 0;
+        std::uint64_t msReads = 0;      ///< demand reads reaching the MS$
+        std::uint64_t msHits = 0;       ///< ...that found their block
+        std::uint64_t msWritebacks = 0; ///< dirty L3 victims to the MS$
+        std::uint64_t instr = 0;        ///< aggregate instructions
+        std::vector<std::uint64_t> instrPerCore;
+    };
+
+    /**
+     * Analytic fast-forward: advance every core's access stream by
+     * @p instr_per_core instructions *functionally* — records are
+     * pulled through the L3/MS$ warm path (directories, tag cache and
+     * footprint history stay in sync with where the stream now is) with
+     * zero event time and zero timed statistics. The caller prices the
+     * skipped interval with fastfwd::AnalyticEngine and accounts it via
+     * creditFastForward(). Never called in exact fidelity.
+     */
+    FastForwardPull fastForward(std::uint64_t instr_per_core);
+
+    /** Cumulative per-source access counters (sampled-fidelity window
+     *  measurement; reads cheap snapshots, no stats reset). */
+    struct SourceSnapshot
+    {
+        std::uint64_t retired = 0; ///< aggregate retired instructions
+        std::uint64_t msReads = 0, msWrites = 0; ///< MS$ array CAS
+        std::uint64_t mmReads = 0, mmWrites = 0; ///< DDR CAS
+        std::uint64_t remReads = 0, remWrites = 0;
+    };
+    SourceSnapshot sourceSnapshot() const;
+
+    /** Fast-forward bypass accounting: fold a modeled chunk's access
+     *  counts into the DRAM/MS$-array/remote counters so delivered-
+     *  bandwidth stats cover fast-forwarded traffic. Timing state is
+     *  untouched. Never called in exact fidelity. */
+    void creditFastForward(const fastfwd::FastForwardChunk &ff);
+
+    /** Functional DAP-credit warm-up at a sampled window entry: feed
+     *  the policy one modeled steady-state window so its credit state
+     *  re-converges before the next detailed segment. */
+    void warmPolicyWindow(const WindowCounters &modeled);
 
     EventQueue &eventQueue() { return eq_; }
     DramSystem &mainMemory() { return *mm_; }

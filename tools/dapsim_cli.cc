@@ -21,6 +21,7 @@
 #include <string>
 
 #include "ckpt/checkpoint.hh"
+#include "sim/fidelity_runner.hh"
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 #include "trace/mixes.hh"
@@ -52,6 +53,9 @@ struct Options
     double remoteScale = 4.0;
     double remoteLatencyNs = 120.0;
     std::uint32_t remoteOutstanding = 32;
+    std::string fidelity = "exact";
+    std::uint64_t fidelityDetail = 0;
+    std::uint64_t fidelityPeriod = 0;
     obs::ObsConfig obs{};
 };
 
@@ -74,6 +78,13 @@ usage()
         "  --window W           DAP window in CPU cycles (default 64)\n"
         "  --efficiency E       DAP bandwidth efficiency (default 0.75)\n"
         "  --seed N             workload seed salt\n"
+        "  --fidelity MODE      exact (default) | sampled | analytic\n"
+        "  --fidelity-detail N  sampled: detailed instructions per "
+        "core\n"
+        "                       per period (default 2000)\n"
+        "  --fidelity-period N  sampled: sampling period in "
+        "instructions\n"
+        "                       per core (default 10000)\n"
         "  --remote             enable the remote bandwidth tier\n"
         "  --remote-scale S     remote BW = DDR BW / S (default 4)\n"
         "  --remote-latency-ns N  remote latency adder (default 120)\n"
@@ -140,6 +151,12 @@ buildConfig(const Options &opt)
     cfg.remote.bwScaleFactor = opt.remoteScale;
     cfg.remote.addLatencyNs = opt.remoteLatencyNs;
     cfg.remote.maxOutstanding = opt.remoteOutstanding;
+    if (!fidelityModeFromName(opt.fidelity, cfg.fidelity.mode))
+        fatal("unknown fidelity: " + opt.fidelity);
+    if (opt.fidelityDetail)
+        cfg.fidelity.detailInstr = opt.fidelityDetail;
+    if (opt.fidelityPeriod)
+        cfg.fidelity.periodInstr = opt.fidelityPeriod;
     return cfg;
 }
 
@@ -177,6 +194,12 @@ main(int argc, char **argv)
             opt.efficiency = std::stod(value());
         else if (a == "--seed")
             opt.seed = std::stoull(value());
+        else if (a == "--fidelity")
+            opt.fidelity = value();
+        else if (a == "--fidelity-detail")
+            opt.fidelityDetail = std::stoull(value());
+        else if (a == "--fidelity-period")
+            opt.fidelityPeriod = std::stoull(value());
         else if (a == "--remote")
             opt.remote = true;
         else if (a == "--remote-scale")
@@ -309,9 +332,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
-    sys.run();
-
-    const RunResult r = harvest(sys, mix_name);
+    const RunResult r = runFidelityOn(sys, mix_name, opt.instr);
     std::printf("mix %s  arch %s  policy %s  seed %llu\n",
                 mix_name.c_str(), opt.arch.c_str(),
                 r.policyName.c_str(),
@@ -322,6 +343,14 @@ main(int argc, char **argv)
                 "L3 read-miss latency %.1f ns\n",
                 r.msHitRatio, r.mmCasFraction,
                 r.avgL3ReadMissLatency / 1000.0);
+    if (r.fidelity.valid)
+        std::printf("fidelity %s  windows %llu  detail %.1f%%  "
+                    "IPC %.3f +/- %.3f\n",
+                    r.fidelity.mode.c_str(),
+                    static_cast<unsigned long long>(
+                        r.fidelity.windows),
+                    r.fidelity.detailFraction * 100.0,
+                    r.fidelity.ipcMean, r.fidelity.ipcCiHalf);
     if (r.fwb + r.wb + r.ifrm + r.sfrm > 0)
         std::printf("DAP decisions: FWB %llu WB %llu IFRM %llu "
                     "SFRM %llu\n",

@@ -57,7 +57,8 @@ usage()
         "  submit        create a store from a sweep grid\n"
         "    --arch/--policy/--workload/--capacity-mb/--cores/--instr/"
         "\n"
-        "    --seed/--warmup/--remote* : as in dapsim_sweep\n"
+        "    --seed/--warmup/--remote*/--fidelity* : as in "
+        "dapsim_sweep\n"
         "  run           execute pending jobs\n"
         "    --shard i/N   run only jobs with index %% N == i "
         "(default 0/1)\n"
@@ -274,6 +275,12 @@ main(int argc, char **argv)
             grid.seed = parseNumber(a, value());
         else if (a == "--warmup")
             grid.warmup = parseNumber(a, value());
+        else if (a == "--fidelity")
+            grid.fidelity = value();
+        else if (a == "--fidelity-detail")
+            grid.fidelityDetail = parseNumber(a, value());
+        else if (a == "--fidelity-period")
+            grid.fidelityPeriod = parseNumber(a, value());
         else if (a == "--remote")
             grid.remote = true;
         else if (a == "--remote-scale")

@@ -92,6 +92,13 @@ usage()
         "  --warmup N           warm-up accesses per core (default: "
         "preset)\n"
         "  --jobs N             worker threads (default 1)\n"
+        "  --fidelity MODE      exact (default) | sampled | analytic\n"
+        "  --fidelity-detail N  sampled: detailed instructions per core"
+        " per\n"
+        "                       period (default 2000)\n"
+        "  --fidelity-period N  sampled: sampling period in "
+        "instructions\n"
+        "                       per core (default 10000)\n"
         "  --remote             enable the remote bandwidth tier\n"
         "  --remote-scale S     remote BW = DDR BW / S (default 4)\n"
         "  --remote-latency-ns N  remote latency adder (default 120)\n"
@@ -203,6 +210,12 @@ main(int argc, char **argv)
             opt.dryRun = true;
         else if (a == "--store")
             opt.storeDir = value();
+        else if (a == "--fidelity")
+            opt.grid.fidelity = value();
+        else if (a == "--fidelity-detail")
+            opt.grid.fidelityDetail = parseNumber(a, value());
+        else if (a == "--fidelity-period")
+            opt.grid.fidelityPeriod = parseNumber(a, value());
         else if (a == "--remote")
             opt.grid.remote = true;
         else if (a == "--remote-scale")
