@@ -7,9 +7,13 @@
  * reference heap (`tests/reference_event_queue.hh`) through identical
  * event populations — self-rescheduling storms, same-tick bursts,
  * mixed near/far horizons, and large-capture callbacks — and report
- * dispatched events per second for each. The end-to-end section runs
- * a pinned fig12-style heterogeneous 8-core mix under the DAP policy
- * and reports simulator wall-clock and events per second.
+ * dispatched events per second for each. Two directory rows do the
+ * same for the SoA `AssocCache` against the frozen AoS oracle
+ * (`tests/reference_assoc_cache.hh`): a hit-dominated probe storm and
+ * a miss-dominated fill/evict churn, in operations per second. The
+ * end-to-end section runs a pinned fig12-style heterogeneous 8-core
+ * mix under the DAP policy and reports simulator wall-clock and
+ * events per second.
  *
  * The JSON this binary writes is committed at the repo root so the
  * kernel's perf trajectory is tracked PR over PR; CI re-runs it in a
@@ -33,9 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/assoc_cache.hh"
 #include "common/event_queue.hh"
 #include "common/json_writer.hh"
 #include "common/rng.hh"
+#include "reference_assoc_cache.hh"
 #include "reference_event_queue.hh"
 #include "sim/presets.hh"
 #include "sim/system.hh"
@@ -220,6 +226,69 @@ largeCapture(Q &eq, std::uint64_t total, std::uint32_t chains)
     return executed;
 }
 
+/** Per-line metadata shaped like the sectored MS$ sector entry
+ *  (three packed words: presence/dirty bitmaps plus a counter). */
+struct DirMeta
+{
+    std::uint64_t present = 0;
+    std::uint64_t dirty = 0;
+    std::uint64_t touched = 0;
+};
+
+/**
+ * Hit-dominated tag-directory probe storm: the steady-state shape of
+ * the MS$/tag-cache lookup path. Pre-fills the whole directory, then
+ * random find+touch over resident tags.
+ */
+template <class C>
+std::uint64_t
+dirProbeHits(C &dir, std::uint64_t ops, std::uint64_t sets,
+             std::uint32_t ways)
+{
+    for (std::uint64_t s = 0; s < sets; ++s)
+        for (std::uint32_t w = 0; w < ways; ++w)
+            (void)dir.insert(s, 1000 + w, DirMeta{w, s, 0});
+    Rng rng(7);
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const std::uint64_t set = rng.below(sets);
+        const std::uint64_t tag = 1000 + rng.below(ways);
+        if (DirMeta *m = dir.find(set, tag)) {
+            ++m->touched;
+            dir.touch(set, tag);
+            ++hits;
+        }
+    }
+    return hits == ops ? ops : 0; // all probes must hit
+}
+
+/**
+ * Miss-dominated directory churn: a working set 4x the capacity, so
+ * most probes miss and insert over an evicted victim — the fill path
+ * a bandwidth-bound MS$ spends its time on.
+ */
+template <class C>
+std::uint64_t
+dirChurn(C &dir, std::uint64_t ops, std::uint64_t sets,
+         std::uint32_t ways)
+{
+    Rng rng(11);
+    const std::uint64_t tagSpace = 4ULL * ways;
+    std::uint64_t victims = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const std::uint64_t set = rng.below(sets);
+        const std::uint64_t tag = rng.below(tagSpace);
+        if (DirMeta *m = dir.find(set, tag)) {
+            ++m->touched;
+            dir.touch(set, tag);
+        } else {
+            victims +=
+                dir.insert(set, tag, DirMeta{tag, set, 0}).valid;
+        }
+    }
+    return victims == 0 ? 0 : ops; // churn must actually evict
+}
+
 struct Rate
 {
     std::uint64_t events;
@@ -240,6 +309,24 @@ measure(Fn scenario, int reps)
         const double eps = static_cast<double>(n) / dt;
         if (eps > best.eventsPerSec)
             best = Rate{n, eps};
+    }
+    return best;
+}
+
+/** Best-of-@p reps run of a self-contained @p run (builds its own
+ *  subject, returns the operation count). */
+template <class Fn>
+Rate
+measureOps(Fn run, int reps)
+{
+    Rate best{0, 0.0};
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t n = run();
+        const double dt = secondsSince(t0);
+        const double ops = static_cast<double>(n) / dt;
+        if (ops > best.eventsPerSec)
+            best = Rate{n, ops};
     }
     return best;
 }
@@ -309,6 +396,7 @@ main(int argc, char **argv)
     std::string out = "BENCH_kernel.json";
     bool skipE2e = false;
     bool e2eOnly = false;
+    int e2eReps = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out = argv[++i];
@@ -316,9 +404,15 @@ main(int argc, char **argv)
             skipE2e = true;
         else if (std::strcmp(argv[i], "--e2e-only") == 0)
             e2eOnly = true;
+        else if (std::strcmp(argv[i], "--e2e-reps") == 0 &&
+                 i + 1 < argc)
+            // Repeat the end-to-end scenario (best-of) — for stable
+            // wall-clock numbers and long profiling runs.
+            e2eReps = std::atoi(argv[++i]);
         else {
             std::cerr << "usage: kernel_events [--out FILE]"
-                         " [--skip-e2e] [--e2e-only]\n";
+                         " [--skip-e2e] [--e2e-only]"
+                         " [--e2e-reps N]\n";
             return 2;
         }
     }
@@ -357,11 +451,56 @@ main(int argc, char **argv)
     bench("large_capture_512", [](auto &eq) {
         return largeCapture(eq, kEvents, 512);
     });
+
+    const auto benchDir = [&](const std::string &name,
+                              std::uint64_t sets, std::uint32_t ways,
+                              ReplPolicy policy, auto scenario) {
+        ScenarioResult r;
+        r.name = name;
+        r.ref = measureOps(
+            [&] {
+                RefAssocCache<DirMeta> dir(sets, ways, policy);
+                return scenario(dir, kEvents, sets, ways);
+            },
+            kReps);
+        r.wheel = measureOps(
+            [&] {
+                AssocCache<DirMeta> dir(sets, ways, policy);
+                return scenario(dir, kEvents, sets, ways);
+            },
+            kReps);
+        std::cout << name << ": ref "
+                  << static_cast<std::uint64_t>(r.ref.eventsPerSec)
+                  << " op/s, kernel "
+                  << static_cast<std::uint64_t>(r.wheel.eventsPerSec)
+                  << " op/s ("
+                  << r.wheel.eventsPerSec / r.ref.eventsPerSec
+                  << "x)\n";
+        results.push_back(std::move(r));
+    };
+
+    // Directory shapes mirror production users: the 16-way NRU
+    // tag-cache/MS$ directory and an 8-way LRU fill/evict path.
+    benchDir("dir_probe_hits_2048x16", 2048, 16, ReplPolicy::NRU,
+             [](auto &dir, std::uint64_t ops, std::uint64_t sets,
+                std::uint32_t ways) {
+                 return dirProbeHits(dir, ops, sets, ways);
+             });
+    benchDir("dir_churn_4096x8", 4096, 8, ReplPolicy::LRU,
+             [](auto &dir, std::uint64_t ops, std::uint64_t sets,
+                std::uint32_t ways) {
+                 return dirChurn(dir, ops, sets, ways);
+             });
     }
 
     E2eResult e2e{0, 0.0, 0.0, 0.0};
     if (!skipE2e) {
         e2e = runE2e();
+        for (int r = 1; r < e2eReps; ++r) {
+            const E2eResult again = runE2e();
+            if (again.wallMs < e2e.wallMs)
+                e2e = again;
+        }
         std::cout << "e2e_fig12_mix: " << e2e.events << " events in "
                   << e2e.wallMs << " ms ("
                   << static_cast<std::uint64_t>(e2e.eventsPerSec)

@@ -6,13 +6,39 @@
  * sector directories, the SRAM tag cache, the dirty-bit cache and the
  * predictor tables. It tracks tags and a caller-supplied metadata value
  * per line; data contents are never simulated (timing-only simulator).
+ *
+ * Data layout (structure-of-arrays, see DESIGN.md §14): the per-way
+ * tags of a set are packed contiguously and scanned linearly, so a
+ * lookup touches one cache line of tags instead of striding through
+ * array-of-structures Line records. Valid and NRU-reference state live
+ * in one 64-bit mask per set (hence the <= 64 ways limit), which turns
+ * victim selection into bit-scan/popcount operations; the LRU
+ * `lastUse` clocks and the Value payload are cold side-arrays touched
+ * only on the paths that need them.
+ *
+ * Replacement contract (pinned; the differential fuzz suite in
+ * tests/test_assoc_cache_diff.cc enforces it against the frozen AoS
+ * reference in tests/reference_assoc_cache.hh):
+ *  - insert() fills the lowest-numbered invalid way first;
+ *  - NRU: the victim is the lowest-numbered way with a clear reference
+ *    bit; when every way is referenced, all reference bits are cleared
+ *    and way 0 is taken;
+ *  - LRU: the victim is the way with the smallest lastUse, and ties
+ *    are broken lowest-way-wins (explicitly: the scan keeps the first
+ *    minimum it sees in ascending way order).
+ *
+ * Invalidated ways keep their stale tag, lastUse and value bytes until
+ * overwritten; v1 checkpoints serialize them, so both layouts produce
+ * byte-identical snapshots.
  */
 
 #ifndef DAPSIM_CACHE_ASSOC_CACHE_HH
 #define DAPSIM_CACHE_ASSOC_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "ckpt/serializer.hh"
@@ -38,33 +64,41 @@ template <typename Value>
 class AssocCache
 {
   public:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool nruRef = false;
-        std::uint64_t lastUse = 0;
-        Value value{};
-    };
-
     AssocCache(std::uint64_t sets, std::uint32_t ways,
                ReplPolicy policy = ReplPolicy::LRU)
-        : sets_(sets), ways_(ways), policy_(policy),
-          lines_(sets * ways)
+        : sets_(sets), ways_(ways), policy_(policy)
     {
         if (sets == 0 || ways == 0)
             fatal("AssocCache: zero geometry");
+        if (ways > 64)
+            fatal("AssocCache: more than 64 ways unsupported");
+        wayMask_ = ways == 64 ? ~std::uint64_t(0)
+                              : (std::uint64_t(1) << ways) - 1;
+        setMask_ = (sets & (sets - 1)) == 0 ? sets - 1 : 0;
+        tags_.assign(sets * ways, 0);
+        lastUse_.assign(sets * ways, 0);
+        values_.resize(sets * ways);
+        valid_.assign(sets, 0);
+        nru_.assign(sets, 0);
     }
 
     std::uint64_t numSets() const { return sets_; }
     std::uint32_t numWays() const { return ways_; }
 
+    /** @p x reduced modulo the set count — a mask for the (universal
+     *  in practice) power-of-two geometries, a divide otherwise. */
+    std::uint64_t
+    mapSet(std::uint64_t x) const
+    {
+        return setMask_ != 0 ? (x & setMask_) : (x % sets_);
+    }
+
     /** Find a line; returns nullptr on miss. Does not update recency. */
     Value *
     find(std::uint64_t set, std::uint64_t tag)
     {
-        Line *l = findLine(set, tag);
-        return l ? &l->value : nullptr;
+        const std::uint32_t w = findWay(set, tag);
+        return w == kNoWay ? nullptr : &values_[set * ways_ + w];
     }
 
     const Value *
@@ -78,20 +112,17 @@ class AssocCache
     void
     touch(std::uint64_t set, std::uint64_t tag)
     {
-        Line *l = findLine(set, tag);
-        if (l == nullptr)
+        const std::uint32_t w = findWay(set, tag);
+        if (w == kNoWay)
             return;
-        l->nruRef = true;
-        l->lastUse = ++useClock_;
-        // NRU: when every line in the set is referenced, clear the
-        // others so a victim always exists.
-        if (policy_ == ReplPolicy::NRU && allReferenced(set)) {
-            for (std::uint32_t w = 0; w < ways_; ++w) {
-                Line &o = at(set, w);
-                if (&o != l)
-                    o.nruRef = false;
-            }
-        }
+        const std::uint64_t bit = std::uint64_t(1) << w;
+        nru_[set] |= bit;
+        lastUse_[set * ways_ + w] = ++useClock_;
+        // NRU: when every valid line in the set is referenced, clear
+        // the others so a victim always exists.
+        if (policy_ == ReplPolicy::NRU &&
+            (valid_[set] & ~nru_[set]) == 0)
+            nru_[set] = bit;
     }
 
     /** Evicted-line report from insert(). */
@@ -109,22 +140,27 @@ class AssocCache
     Victim
     insert(std::uint64_t set, std::uint64_t tag, Value v)
     {
-        if (findLine(set, tag) != nullptr)
+        if (findWay(set, tag) != kNoWay)
             panic("AssocCache: duplicate insert");
-        Line &slot = victimLine(set);
+        const std::uint32_t w = victimWay(set);
+        const std::size_t idx = set * ways_ + w;
+        const std::uint64_t bit = std::uint64_t(1) << w;
         Victim out;
-        if (slot.valid) {
+        if (valid_[set] & bit) {
             out.valid = true;
-            out.tag = slot.tag;
-            out.value = std::move(slot.value);
+            out.tag = tags_[idx];
+            out.value = std::move(values_[idx]);
         }
-        slot.tag = tag;
-        slot.valid = true;
-        slot.value = std::move(v);
-        slot.nruRef = false; // inserted lines start not-recently-used (NRU)
-        slot.lastUse = ++useClock_;
+        tags_[idx] = tag;
+        valid_[set] |= bit;
+        values_[idx] = std::move(v);
+        // Inserted lines start not-recently-used under NRU; LRU keeps
+        // the reference bit set (it only matters for serialized state).
         if (policy_ == ReplPolicy::LRU)
-            slot.nruRef = true;
+            nru_[set] |= bit;
+        else
+            nru_[set] &= ~bit;
+        lastUse_[idx] = ++useClock_;
         return out;
     }
 
@@ -132,11 +168,13 @@ class AssocCache
     bool
     erase(std::uint64_t set, std::uint64_t tag)
     {
-        Line *l = findLine(set, tag);
-        if (l == nullptr)
+        const std::uint32_t w = findWay(set, tag);
+        if (w == kNoWay)
             return false;
-        l->valid = false;
-        l->nruRef = false;
+        const std::uint64_t bit = std::uint64_t(1) << w;
+        valid_[set] &= ~bit;
+        nru_[set] &= ~bit;
+        // The dead way's tag/lastUse/value persist until overwritten.
         return true;
     }
 
@@ -145,13 +183,14 @@ class AssocCache
     flushSet(std::uint64_t set,
              const std::function<void(std::uint64_t, Value &)> &fn)
     {
-        for (std::uint32_t w = 0; w < ways_; ++w) {
-            Line &l = at(set, w);
-            if (l.valid) {
-                fn(l.tag, l.value);
-                l.valid = false;
-                l.nruRef = false;
-            }
+        const std::size_t base = set * ways_;
+        for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
+            const std::uint32_t w =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            fn(tags_[base + w], values_[base + w]);
+            const std::uint64_t bit = std::uint64_t(1) << w;
+            valid_[set] &= ~bit;
+            nru_[set] &= ~bit;
         }
     }
 
@@ -160,23 +199,21 @@ class AssocCache
     forEach(const std::function<void(std::uint64_t, std::uint64_t,
                                      Value &)> &fn)
     {
-        for (std::uint64_t s = 0; s < sets_; ++s)
-            for (std::uint32_t w = 0; w < ways_; ++w) {
-                Line &l = at(s, w);
-                if (l.valid)
-                    fn(s, l.tag, l.value);
+        for (std::uint64_t s = 0; s < sets_; ++s) {
+            const std::size_t base = s * ways_;
+            for (std::uint64_t m = valid_[s]; m != 0; m &= m - 1) {
+                const std::uint32_t w =
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+                fn(s, tags_[base + w], values_[base + w]);
             }
+        }
     }
 
     /** Number of valid lines in a set. */
     std::uint32_t
     occupancy(std::uint64_t set) const
     {
-        std::uint32_t n = 0;
-        for (std::uint32_t w = 0; w < ways_; ++w)
-            if (at(set, w).valid)
-                ++n;
-        return n;
+        return static_cast<std::uint32_t>(std::popcount(valid_[set]));
     }
 
     /**
@@ -185,6 +222,13 @@ class AssocCache
      * state back into an identically shaped cache via @p restore_value
      * (`void(ckpt::Deserializer&, Value&)`) and throws CkptError on a
      * geometry mismatch.
+     *
+     * Format 1 emits the per-line byte stream of dapsim.ckpt.v1
+     * (byte-identical to the historical AoS implementation, stale
+     * bytes of invalid ways included). Format 2 emits the bulk-span
+     * layout: the SoA arrays are written whole, and — when Value has
+     * unique object representations on a little-endian host — the
+     * value array as raw bytes, so restore is a handful of memcpys.
      */
     template <typename SaveValue>
     void
@@ -194,13 +238,29 @@ class AssocCache
         s.u32(ways_);
         s.u32(static_cast<std::uint32_t>(policy_));
         s.u64(useClock_);
-        for (const Line &l : lines_) {
-            s.u64(l.tag);
-            s.boolean(l.valid);
-            s.boolean(l.nruRef);
-            s.u64(l.lastUse);
-            save_value(s, l.value);
+        if (s.format() >= 2) {
+            s.u64Span(tags_.data(), tags_.size());
+            s.u64Span(valid_.data(), valid_.size());
+            s.u64Span(nru_.data(), nru_.size());
+            s.u64Span(lastUse_.data(), lastUse_.size());
+            s.u8(kRawValues ? 1 : 0);
+            if constexpr (kRawValues) {
+                s.raw(values_.data(), values_.size() * sizeof(Value));
+            } else {
+                for (const Value &v : values_)
+                    save_value(s, v);
+            }
+            return;
         }
+        for (std::uint64_t set = 0; set < sets_; ++set)
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                const std::size_t idx = set * ways_ + w;
+                s.u64(tags_[idx]);
+                s.boolean((valid_[set] >> w) & 1);
+                s.boolean((nru_[set] >> w) & 1);
+                s.u64(lastUse_[idx]);
+                save_value(s, values_[idx]);
+            }
     }
 
     template <typename RestoreValue>
@@ -212,84 +272,118 @@ class AssocCache
             throw ckpt::CkptError(
                 "ckpt: cache directory geometry mismatch");
         useClock_ = d.u64();
-        for (Line &l : lines_) {
-            l.tag = d.u64();
-            l.valid = d.boolean();
-            l.nruRef = d.boolean();
-            l.lastUse = d.u64();
-            restore_value(d, l.value);
+        if (d.format() >= 2) {
+            d.u64Span(tags_.data(), tags_.size());
+            d.u64Span(valid_.data(), valid_.size());
+            d.u64Span(nru_.data(), nru_.size());
+            d.u64Span(lastUse_.data(), lastUse_.size());
+            const bool raw = d.u8() != 0;
+            if (raw) {
+                if constexpr (kRawValues)
+                    d.raw(values_.data(),
+                          values_.size() * sizeof(Value));
+                else
+                    throw ckpt::CkptError(
+                        "ckpt: v2 raw value encoding not restorable "
+                        "on this host/value type");
+            } else {
+                for (Value &v : values_)
+                    restore_value(d, v);
+            }
+            return;
         }
+        for (std::uint64_t set = 0; set < sets_; ++set)
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                const std::size_t idx = set * ways_ + w;
+                const std::uint64_t bit = std::uint64_t(1) << w;
+                tags_[idx] = d.u64();
+                if (d.boolean())
+                    valid_[set] |= bit;
+                else
+                    valid_[set] &= ~bit;
+                if (d.boolean())
+                    nru_[set] |= bit;
+                else
+                    nru_[set] &= ~bit;
+                lastUse_[idx] = d.u64();
+                restore_value(d, values_[idx]);
+            }
     }
 
   private:
-    Line &
-    at(std::uint64_t set, std::uint32_t way)
-    {
-        return lines_[set * ways_ + way];
-    }
+    static constexpr std::uint32_t kNoWay = ~std::uint32_t(0);
 
-    const Line &
-    at(std::uint64_t set, std::uint32_t way) const
-    {
-        return lines_[set * ways_ + way];
-    }
+    /** Whole-array raw value copies are legal only when every byte of
+     *  Value is deterministic (no padding) and the host already uses
+     *  the on-disk little-endian layout. */
+    static constexpr bool kRawValues =
+        std::has_unique_object_representations_v<Value> &&
+        std::is_trivially_copyable_v<Value> &&
+        ckpt::kHostIsLittleEndian;
 
-    Line *
-    findLine(std::uint64_t set, std::uint64_t tag)
+    /** Way of the resident line with @p tag, or kNoWay. Scans only the
+     *  valid ways, lowest way first (matches the AoS scan order). */
+    std::uint32_t
+    findWay(std::uint64_t set, std::uint64_t tag) const
     {
         if (set >= sets_)
             panic("AssocCache: set out of range");
-        for (std::uint32_t w = 0; w < ways_; ++w) {
-            Line &l = at(set, w);
-            if (l.valid && l.tag == tag)
-                return &l;
+        const std::uint64_t *tags = tags_.data() + set * ways_;
+        for (std::uint64_t m = valid_[set]; m != 0; m &= m - 1) {
+            const std::uint32_t w =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            if (tags[w] == tag)
+                return w;
         }
-        return nullptr;
+        return kNoWay;
     }
 
-    bool
-    allReferenced(std::uint64_t set) const
+    std::uint32_t
+    victimWay(std::uint64_t set)
     {
-        for (std::uint32_t w = 0; w < ways_; ++w) {
-            const Line &l = at(set, w);
-            if (l.valid && !l.nruRef)
-                return false;
-        }
-        return true;
-    }
-
-    Line &
-    victimLine(std::uint64_t set)
-    {
-        // Invalid line first.
-        for (std::uint32_t w = 0; w < ways_; ++w)
-            if (!at(set, w).valid)
-                return at(set, w);
+        // Lowest-numbered invalid way first.
+        const std::uint64_t invalid = ~valid_[set] & wayMask_;
+        if (invalid != 0)
+            return static_cast<std::uint32_t>(
+                std::countr_zero(invalid));
         if (policy_ == ReplPolicy::NRU) {
-            for (std::uint32_t w = 0; w < ways_; ++w)
-                if (!at(set, w).nruRef)
-                    return at(set, w);
+            const std::uint64_t unref = ~nru_[set] & wayMask_;
+            if (unref != 0)
+                return static_cast<std::uint32_t>(
+                    std::countr_zero(unref));
             // All referenced: clear and take way 0.
-            for (std::uint32_t w = 0; w < ways_; ++w)
-                at(set, w).nruRef = false;
-            return at(set, 0);
+            nru_[set] = 0;
+            return 0;
         }
-        // LRU
+        // LRU: strict < keeps the first minimum in ascending way
+        // order, i.e. lowest-way-wins on lastUse ties (pinned
+        // contract, see the class comment).
+        const std::uint64_t *lu = lastUse_.data() + set * ways_;
         std::uint32_t victim = 0;
         std::uint64_t oldest = ~std::uint64_t(0);
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            if (at(set, w).lastUse < oldest) {
-                oldest = at(set, w).lastUse;
+            if (lu[w] < oldest) {
+                oldest = lu[w];
                 victim = w;
             }
         }
-        return at(set, victim);
+        return victim;
     }
 
     std::uint64_t sets_;
     std::uint32_t ways_;
     ReplPolicy policy_;
-    std::vector<Line> lines_;
+    std::uint64_t wayMask_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (see mapSet). */
+    std::uint64_t setMask_;
+    /** Hot: packed per-set tags, one contiguous run per set. */
+    std::vector<std::uint64_t> tags_;
+    /** Hot: one valid/NRU-reference bit per way, one word per set. */
+    std::vector<std::uint64_t> valid_;
+    std::vector<std::uint64_t> nru_;
+    /** Cold: LRU clocks and payload, touched off the lookup path. */
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<Value> values_;
     std::uint64_t useClock_ = 0;
 };
 

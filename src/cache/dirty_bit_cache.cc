@@ -19,7 +19,7 @@ DirtyBitCache::groupOf(std::uint64_t alloy_set) const
 std::uint64_t
 DirtyBitCache::setIndex(std::uint64_t group) const
 {
-    return group % dir_.numSets();
+    return dir_.mapSet(group);
 }
 
 std::uint64_t

@@ -13,7 +13,7 @@ TagCache::TagCache(const TagCacheConfig &cfg)
 std::uint64_t
 TagCache::setIndex(std::uint64_t ms_set) const
 {
-    return ms_set % dir_.numSets();
+    return dir_.mapSet(ms_set);
 }
 
 std::uint64_t

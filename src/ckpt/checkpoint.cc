@@ -3,6 +3,11 @@
 #include <fstream>
 #include <iterator>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "common/fsio.hh"
 #include "sim/fidelity_runner.hh"
 
@@ -11,6 +16,42 @@ namespace dapsim::ckpt
 
 namespace
 {
+
+/**
+ * Rough lower bound on the System::save payload size, used to
+ * pre-reserve the Serializer buffer so a multi-MB snapshot doesn't
+ * realloc its way up from empty. Dominant terms: the MS$ sector/line
+ * directory and the L3 directory (v1 per-line overhead is 18 bytes +
+ * the value encoding; the estimate uses v1, the larger of the two
+ * encodings).
+ */
+std::size_t
+payloadSizeHint(const SystemConfig &cfg)
+{
+    std::size_t hint = 1 << 20; // cores, DRAM, policy, slack
+    const std::size_t l3Lines = cfg.l3.capacityBytes / kBlockBytes;
+    hint += l3Lines * 20;
+    switch (cfg.arch) {
+      case MsArch::Sectored:
+        hint += cfg.sectored.capacityBytes / cfg.sectored.sectorBytes *
+                (18 + 24);
+        hint += cfg.sectored.tagCache.entries * 20;
+        hint += cfg.sectored.footprint.tableEntries * 16;
+        break;
+      case MsArch::Alloy:
+        hint += cfg.alloy.capacityBytes / kBlockBytes * 20;
+        hint += cfg.alloy.predictorEntries;
+        break;
+      case MsArch::Edram:
+        hint += cfg.edram.capacityBytes / cfg.edram.sectorBytes *
+                (18 + 24);
+        hint += cfg.edram.footprint.tableEntries * 16;
+        break;
+      case MsArch::None:
+        break;
+    }
+    return hint;
+}
 
 /** Canonicalize a DramConfig's timing/geometry (name excluded). */
 void
@@ -254,11 +295,15 @@ fullHash(std::uint64_t state_hash, const SystemConfig &cfg)
 }
 
 Checkpoint
-capture(System &sys, CheckpointHeader header)
+capture(System &sys, CheckpointHeader header, std::uint32_t version)
 {
-    Serializer s;
+    if (version != kVersionV1 && version != kVersionV2)
+        throw CkptError("ckpt: cannot capture version " +
+                        std::to_string(version));
+    Serializer s(version);
+    s.reserve(payloadSizeHint(sys.config()));
     sys.save(s);
-    header.version = kVersion;
+    header.version = version;
     header.tick = sys.eventQueue().now();
     header.pendingEvents = sys.eventQueue().pending();
     Checkpoint ckpt;
@@ -290,36 +335,54 @@ encode(const Checkpoint &ckpt)
     return out;
 }
 
-Checkpoint
-decode(const std::uint8_t *data, std::size_t size)
+namespace
 {
-    Deserializer d(data, size);
+
+/** Parse + validate everything up to the payload bytes; on return
+ *  the deserializer sits on the first payload byte and @p d.remaining()
+ *  is the CRC-verified payload length. */
+CheckpointHeader
+decodeHeader(Deserializer &d, const std::uint8_t *data,
+             std::size_t size)
+{
     for (char c : kMagic)
         if (d.u8() != static_cast<std::uint8_t>(c))
             throw CkptError("ckpt: not a dapsim checkpoint (bad magic)");
-    Checkpoint ckpt;
-    ckpt.header.version = d.u32();
-    if (ckpt.header.version != kVersion)
+    CheckpointHeader h;
+    h.version = d.u32();
+    if (h.version != kVersionV1 && h.version != kVersionV2)
         throw CkptError("ckpt: unsupported checkpoint version " +
-                        std::to_string(ckpt.header.version));
-    ckpt.header.stateHash = d.u64();
-    ckpt.header.fullHash = d.u64();
-    ckpt.header.tick = d.u64();
-    if (ckpt.header.tick != 0)
-        throw CkptError("ckpt: v1 checkpoints must be at tick 0");
-    ckpt.header.seedSalt = d.u64();
-    ckpt.header.warmupPerCore = d.u64();
-    ckpt.header.instr = d.u64();
-    ckpt.header.numCores = d.u32();
-    ckpt.header.archId = d.u32();
-    ckpt.header.pendingEvents = d.u64();
+                        std::to_string(h.version));
+    h.stateHash = d.u64();
+    h.fullHash = d.u64();
+    h.tick = d.u64();
+    if (h.tick != 0)
+        throw CkptError("ckpt: checkpoints must be at tick 0");
+    h.seedSalt = d.u64();
+    h.warmupPerCore = d.u64();
+    h.instr = d.u64();
+    h.numCores = d.u32();
+    h.archId = d.u32();
+    h.pendingEvents = d.u64();
     const std::uint64_t len = d.u64();
     const std::uint32_t crc = d.u32();
     if (len != d.remaining())
         throw CkptError("ckpt: truncated checkpoint payload");
-    ckpt.payload.assign(data + (size - len), data + size);
-    if (crc32(ckpt.payload.data(), ckpt.payload.size()) != crc)
+    if (crc32(data + (size - static_cast<std::size_t>(len)),
+              static_cast<std::size_t>(len)) != crc)
         throw CkptError("ckpt: payload CRC mismatch (corrupt file)");
+    return h;
+}
+
+} // namespace
+
+Checkpoint
+decode(const std::uint8_t *data, std::size_t size)
+{
+    Deserializer d(data, size);
+    Checkpoint ckpt;
+    ckpt.header = decodeHeader(d, data, size);
+    ckpt.payload.assign(data + (size - d.remaining()), data + size);
     return ckpt;
 }
 
@@ -327,6 +390,29 @@ Checkpoint
 decode(const std::vector<std::uint8_t> &bytes)
 {
     return decode(bytes.data(), bytes.size());
+}
+
+CheckpointView
+viewOf(std::shared_ptr<const Checkpoint> ckpt)
+{
+    CheckpointView v;
+    if (!ckpt)
+        return v;
+    v.header = ckpt->header;
+    v.payload = ckpt->payload.data();
+    v.payloadSize = ckpt->payload.size();
+    v.backing = std::move(ckpt);
+    return v;
+}
+
+CheckpointView
+viewOf(const Checkpoint &ckpt)
+{
+    CheckpointView v;
+    v.header = ckpt.header;
+    v.payload = ckpt.payload.data();
+    v.payloadSize = ckpt.payload.size();
+    return v;
 }
 
 void
@@ -365,9 +451,43 @@ readFile(const std::string &path)
     return decode(bytes);
 }
 
+CheckpointView
+readFileMapped(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw CkptError("ckpt: cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        throw CkptError("ckpt: cannot stat " + path);
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference
+    if (map == MAP_FAILED) {
+        // Filesystem without mmap support: plain heap read.
+        return viewOf(std::make_shared<const Checkpoint>(
+            readFile(path)));
+    }
+    std::shared_ptr<const void> backing(
+        map, [size](const void *p) {
+            ::munmap(const_cast<void *>(p), size);
+        });
+    const auto *data = static_cast<const std::uint8_t *>(map);
+    Deserializer d(data, size);
+    CheckpointView v;
+    v.header = decodeHeader(d, data, size);
+    v.payload = data + (size - d.remaining());
+    v.payloadSize = d.remaining();
+    v.backing = std::move(backing);
+    return v;
+}
+
 Checkpoint
 makeWarmupCheckpoint(SystemConfig cfg, const Mix &mix,
-                     std::uint64_t instr, std::uint64_t seed_salt)
+                     std::uint64_t instr, std::uint64_t seed_salt,
+                     std::uint32_t version)
 {
     if (mix.apps.size() != cfg.numCores)
         throw CkptError("ckpt: mix width != core count");
@@ -390,17 +510,19 @@ makeWarmupCheckpoint(SystemConfig cfg, const Mix &mix,
 
     System sys(cfg, std::move(gens));
     sys.warmup(header.warmupPerCore);
-    return capture(sys, header);
+    return capture(sys, header, version);
 }
 
 RunResult
 runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
                      std::uint64_t instr_per_core,
-                     std::uint64_t seed_salt, const Checkpoint &ckpt,
-                     bool fork)
+                     std::uint64_t seed_salt,
+                     const CheckpointView &ckpt, bool fork)
 {
     if (mix.apps.size() != cfg.numCores)
         throw CkptError("ckpt: mix width != core count");
+    if (!ckpt)
+        throw CkptError("ckpt: empty checkpoint view");
 
     const std::uint64_t want_state =
         stateHash(cfg, describeMix(mix), seed_salt,
@@ -424,11 +546,22 @@ runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
         gens.push_back(makeGenerator(mix.apps[i], i, seed_salt));
 
     System sys(cfg, std::move(gens));
-    Deserializer d(ckpt.payload);
+    Deserializer d(ckpt.payload, ckpt.payloadSize,
+                   ckpt.header.version);
     sys.restore(d, fork);
     if (!d.atEnd())
         throw CkptError("ckpt: trailing bytes after the last section");
     return runFidelityOn(sys, mix.name, instr_per_core);
+}
+
+RunResult
+runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
+                     std::uint64_t instr_per_core,
+                     std::uint64_t seed_salt, const Checkpoint &ckpt,
+                     bool fork)
+{
+    return runMixFromCheckpoint(std::move(cfg), mix, instr_per_core,
+                                seed_salt, viewOf(ckpt), fork);
 }
 
 } // namespace dapsim::ckpt

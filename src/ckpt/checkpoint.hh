@@ -1,12 +1,21 @@
 /**
  * @file
- * The `dapsim.ckpt.v1` checkpoint format and its high-level API.
+ * The `dapsim.ckpt.v1`/`.v2` checkpoint formats and their high-level
+ * API.
  *
  * A checkpoint captures a System at its quiescent point — tick 0,
  * after functional warm-up, before run() — so a restored run continues
  * bit-identically to an uninterrupted one. The container is a
  * journaled header (magic, version, config hashes, tick) followed by a
  * CRC32-guarded payload of named component sections (System::save).
+ *
+ * The two versions share the container and section framing and differ
+ * only in the payload encoding: v1 is the per-primitive byte stream,
+ * v2 (the default for new saves) stores large component arrays as
+ * bulk little-endian spans so a restore is a handful of memcpys out
+ * of the payload — which CheckpointView/readFileMapped can leave
+ * memory-mapped on disk instead of copying onto the heap. Both
+ * versions restore; see DESIGN.md §14.
  *
  * Two hashes guard restores:
  *  - stateHash covers everything the warm state depends on: the
@@ -26,6 +35,7 @@
 #define DAPSIM_CKPT_CHECKPOINT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,8 +49,14 @@ namespace dapsim::ckpt
 /** File magic: the first eight bytes of every checkpoint. */
 inline constexpr char kMagic[8] = {'D', 'A', 'P', 'S', 'I', 'M', 'C', 'K'};
 
-/** Format version (the "v1" in dapsim.ckpt.v1). */
-inline constexpr std::uint32_t kVersion = 1;
+/** Per-primitive payload encoding (the "v1" in dapsim.ckpt.v1). */
+inline constexpr std::uint32_t kVersionV1 = 1;
+
+/** Bulk-span payload encoding (dapsim.ckpt.v2, mmap/memcpy restore). */
+inline constexpr std::uint32_t kVersionV2 = 2;
+
+/** Version newly captured checkpoints default to. */
+inline constexpr std::uint32_t kVersion = kVersionV2;
 
 /** Journaled checkpoint header (see DESIGN.md for the byte layout). */
 struct CheckpointHeader
@@ -72,6 +88,33 @@ struct Checkpoint
     std::vector<std::uint8_t> payload;
 };
 
+/**
+ * A non-owning-by-default window onto a validated checkpoint whose
+ * payload bytes may live anywhere: a heap Checkpoint, or a read-only
+ * file mapping (readFileMapped). Restores deserialize straight out of
+ * @p payload — with a v2 payload the bulk arrays are memcpy'd from
+ * the mapping into the component SoA arrays with no intermediate
+ * decode or heap copy. @p backing keeps the bytes alive; a view with
+ * a null payload means "no checkpoint".
+ */
+struct CheckpointView
+{
+    CheckpointHeader header{};
+    const std::uint8_t *payload = nullptr;
+    std::size_t payloadSize = 0;
+    /** Owner of the payload bytes (mmap region or heap checkpoint). */
+    std::shared_ptr<const void> backing;
+
+    explicit operator bool() const { return payload != nullptr; }
+};
+
+/** View over a heap checkpoint; shares ownership so the view stays
+ *  valid after the caller drops its reference. */
+CheckpointView viewOf(std::shared_ptr<const Checkpoint> ckpt);
+
+/** Non-owning view; @p ckpt must outlive the view. */
+CheckpointView viewOf(const Checkpoint &ckpt);
+
 /** Canonical description of a mix's access streams (hash input). */
 std::string describeMix(const Mix &mix);
 
@@ -97,9 +140,11 @@ std::uint64_t fullHash(std::uint64_t state_hash, const SystemConfig &cfg);
 /**
  * Snapshot @p sys (which must be at its quiescent point). The caller
  * provides the header's config hashes and bookkeeping fields; tick and
- * pendingEvents are filled in here.
+ * pendingEvents are filled in here. @p version selects the payload
+ * encoding (kVersionV1 or kVersionV2).
  */
-Checkpoint capture(System &sys, CheckpointHeader header);
+Checkpoint capture(System &sys, CheckpointHeader header,
+                   std::uint32_t version = kVersion);
 
 /** Serialize a checkpoint to the on-disk byte layout. */
 std::vector<std::uint8_t> encode(const Checkpoint &ckpt);
@@ -111,6 +156,15 @@ Checkpoint decode(const std::vector<std::uint8_t> &bytes);
 /** Write/read the encoded form; throws CkptError on I/O failure. */
 void writeFile(const std::string &path, const Checkpoint &ckpt);
 Checkpoint readFile(const std::string &path);
+
+/**
+ * readFile without the heap copy: the file is memory-mapped read-only
+ * and validated in place (magic, version, CRC), and the returned
+ * view's payload points into the mapping, which lives as long as any
+ * copy of the view does. Falls back to an ordinary heap read when the
+ * platform/filesystem refuses the mapping.
+ */
+CheckpointView readFileMapped(const std::string &path);
 
 /**
  * writeFile via temp-file + fsync + atomic rename: a reader never
@@ -128,7 +182,8 @@ void writeFileAtomic(const std::string &path, const Checkpoint &ckpt);
  */
 Checkpoint makeWarmupCheckpoint(SystemConfig cfg, const Mix &mix,
                                 std::uint64_t instr,
-                                std::uint64_t seed_salt);
+                                std::uint64_t seed_salt,
+                                std::uint32_t version = kVersion);
 
 /**
  * runMix, but starting from @p ckpt instead of executing the warm-up.
@@ -137,6 +192,12 @@ Checkpoint makeWarmupCheckpoint(SystemConfig cfg, const Mix &mix,
  * @p fork the checkpoint's policy section is skipped, so a warm-up
  * taken under one policy seeds any policy variant.
  */
+RunResult runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
+                               std::uint64_t instr_per_core,
+                               std::uint64_t seed_salt,
+                               const CheckpointView &ckpt,
+                               bool fork = false);
+
 RunResult runMixFromCheckpoint(SystemConfig cfg, const Mix &mix,
                                std::uint64_t instr_per_core,
                                std::uint64_t seed_salt,

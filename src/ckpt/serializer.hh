@@ -1,7 +1,8 @@
 /**
  * @file
- * Binary serialization primitives for the dapsim checkpoint format
- * (`dapsim.ckpt.v1`).
+ * Binary serialization primitives for the dapsim checkpoint formats
+ * (`dapsim.ckpt.v1` per-primitive streams and the `dapsim.ckpt.v2`
+ * bulk-span encoding; see DESIGN.md §14).
  *
  * A Serializer appends fixed-width little-endian primitives into a
  * byte buffer; a Deserializer reads them back with bounds checking.
@@ -22,6 +23,7 @@
 #ifndef DAPSIM_CKPT_SERIALIZER_HH
 #define DAPSIM_CKPT_SERIALIZER_HH
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -31,6 +33,11 @@
 namespace dapsim::ckpt
 {
 
+/** True when raw in-memory words already match the little-endian
+ *  on-disk encoding, enabling the bulk span fast paths. */
+inline constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
 /** Any checkpoint save/restore failure (format, CRC, config mismatch,
  *  non-quiescent component). */
 class CkptError : public std::runtime_error
@@ -39,10 +46,33 @@ class CkptError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Appends primitives to a growable byte buffer. */
+/**
+ * Appends primitives to a growable byte buffer.
+ *
+ * The @p format constructor argument selects the payload encoding
+ * components should emit: 1 is the per-primitive `dapsim.ckpt.v1`
+ * byte stream, 2 additionally allows the bulk span forms below
+ * (`dapsim.ckpt.v2`), which bulk-copy whole arrays so a restore can
+ * memcpy them back without a per-element decode loop. Components
+ * branch on format() inside their save() methods; both formats share
+ * the same section framing.
+ */
 class Serializer
 {
   public:
+    explicit Serializer(std::uint32_t format = 1) : format_(format) {}
+
+    /** Payload encoding this serializer was opened for (1 or 2). */
+    std::uint32_t format() const { return format_; }
+
+    /** Size hint: pre-grow the buffer to kill realloc churn on large
+     *  snapshots (MS$ sector directories are tens of MBs). */
+    void
+    reserve(std::size_t bytes)
+    {
+        buf_.reserve(buf_.size() + bytes);
+    }
+
     void
     u8(std::uint8_t v)
     {
@@ -52,15 +82,13 @@ class Serializer
     void
     u32(std::uint32_t v)
     {
-        for (int i = 0; i < 4; ++i)
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        appendLe(v);
     }
 
     void
     u64(std::uint64_t v)
     {
-        for (int i = 0; i < 8; ++i)
-            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        appendLe(v);
     }
 
     void
@@ -99,6 +127,31 @@ class Serializer
     }
 
     /**
+     * Bulk little-endian u64 array (no length prefix; the reader knows
+     * the count from its own geometry). On little-endian hosts this is
+     * one memcpy of the whole array. v2-format payloads only.
+     */
+    void
+    u64Span(const std::uint64_t *p, std::size_t n)
+    {
+        if constexpr (kHostIsLittleEndian) {
+            raw(p, n * sizeof(std::uint64_t));
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                u64(p[i]);
+        }
+    }
+
+    /** Raw object bytes, no length prefix. The writer and reader must
+     *  agree on the exact size; v2-format payloads only. */
+    void
+    raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    /**
      * Open a named section. The name and a length placeholder are
      * written immediately; endSection() patches the length once the
      * section's content size is known. Sections nest.
@@ -134,23 +187,47 @@ class Serializer
     std::size_t size() const { return buf_.size(); }
 
   private:
+    /** Append one fixed-width little-endian primitive. Byte-identical
+     *  to the per-byte shift loop, but a single memcpy on LE hosts. */
+    template <typename T>
+    void
+    appendLe(T v)
+    {
+        const std::size_t at = buf_.size();
+        buf_.resize(at + sizeof(T));
+        if constexpr (kHostIsLittleEndian) {
+            std::memcpy(buf_.data() + at, &v, sizeof(T));
+        } else {
+            for (std::size_t i = 0; i < sizeof(T); ++i)
+                buf_[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    }
+
+    std::uint32_t format_;
     std::vector<std::uint8_t> buf_;
     std::vector<std::size_t> lengthAt_;
 };
 
-/** Bounds-checked reader over a byte span. */
+/** Bounds-checked reader over a byte span. The @p format argument
+ *  mirrors Serializer's: components branch on format() to pick the
+ *  per-primitive (1) or bulk-span (2) decode path. */
 class Deserializer
 {
   public:
-    Deserializer(const std::uint8_t *data, std::size_t size)
-        : data_(data), size_(size)
+    Deserializer(const std::uint8_t *data, std::size_t size,
+                 std::uint32_t format = 1)
+        : data_(data), size_(size), format_(format)
     {
     }
 
-    explicit Deserializer(const std::vector<std::uint8_t> &buf)
-        : Deserializer(buf.data(), buf.size())
+    explicit Deserializer(const std::vector<std::uint8_t> &buf,
+                          std::uint32_t format = 1)
+        : Deserializer(buf.data(), buf.size(), format)
     {
     }
+
+    /** Payload encoding of the underlying bytes (1 or 2). */
+    std::uint32_t format() const { return format_; }
 
     std::uint8_t
     u8()
@@ -221,14 +298,50 @@ class Deserializer
         return out;
     }
 
-    /** Enter a section, verifying its name. */
+    /** Bulk little-endian u64 array written by Serializer::u64Span.
+     *  One memcpy of the whole array on little-endian hosts. */
+    void
+    u64Span(std::uint64_t *p, std::size_t n)
+    {
+        if constexpr (kHostIsLittleEndian) {
+            raw(p, n * sizeof(std::uint64_t));
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = u64();
+        }
+    }
+
+    /** Raw object bytes written by Serializer::raw — a single bounds-
+     *  checked memcpy out of the (possibly mmap'd) payload. */
+    void
+    raw(void *p, std::size_t n)
+    {
+        need(n);
+        std::memcpy(p, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    /**
+     * Enter a section, verifying its name. The name comparison happens
+     * in place against the underlying bytes — no per-section string
+     * allocation on the restore hot path.
+     */
     void
     enterSection(const std::string &expect)
     {
-        const std::string name = str();
-        if (name != expect)
+        const std::uint64_t n = u64();
+        need(n);
+        const bool match =
+            n == expect.size() &&
+            std::memcmp(data_ + pos_, expect.data(), expect.size()) == 0;
+        if (!match) {
+            const std::string name(
+                reinterpret_cast<const char *>(data_ + pos_),
+                static_cast<std::size_t>(n));
             throw CkptError("ckpt: expected section '" + expect +
                             "', found '" + name + "'");
+        }
+        pos_ += static_cast<std::size_t>(n);
         const std::uint64_t len = u64();
         need(len);
         sectionEnd_.push_back(pos_ + static_cast<std::size_t>(len));
@@ -283,6 +396,7 @@ class Deserializer
 
     const std::uint8_t *data_;
     std::size_t size_;
+    std::uint32_t format_;
     std::size_t pos_ = 0;
     std::vector<std::size_t> sectionEnd_;
 };

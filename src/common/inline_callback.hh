@@ -183,6 +183,10 @@ class BasicInlineCallback
         bool trivialRelocate;
         /** The destructor is a no-op; destroy() may be skipped. */
         bool trivialDestroy;
+        /** Bytes the capture actually occupies: most hot callbacks
+         *  are one or two pointers, so relocation copies 16 bytes
+         *  instead of the whole N-byte buffer. */
+        std::uint32_t size;
     };
 
     template <class F>
@@ -230,7 +234,8 @@ class BasicInlineCallback
                                     &relocateInline<F>,
                                     &destroyInline<F>,
                                     std::is_trivially_copyable_v<F>,
-                                    std::is_trivially_destructible_v<F>};
+                                    std::is_trivially_destructible_v<F>,
+                                    sizeof(F)};
 
     // ---- pooled storage ------------------------------------------
     static void *
@@ -269,7 +274,8 @@ class BasicInlineCallback
                                     &relocatePooled<F>,
                                     &destroyPooled<F>,
                                     /*trivialRelocate=*/true,
-                                    /*trivialDestroy=*/false};
+                                    /*trivialDestroy=*/false,
+                                    sizeof(void *)};
 
     template <class D, class F>
     void
@@ -301,11 +307,23 @@ class BasicInlineCallback
     {
         ops_ = other.ops_;
         if (ops_ != nullptr) {
-            if (ops_->trivialRelocate)
-                std::memcpy(buf_, other.buf_, N); // fixed-size copy:
-                                                  // tail garbage is fine
-            else
+            if (ops_->trivialRelocate) {
+                // Fixed-size copies (tail garbage is fine): two words
+                // cover the common one/two-pointer captures, the full
+                // buffer everything else.
+                constexpr std::size_t kTwoWords =
+                    2 * sizeof(std::uint64_t);
+                if constexpr (N >= kTwoWords) {
+                    if (ops_->size <= kTwoWords)
+                        std::memcpy(buf_, other.buf_, kTwoWords);
+                    else
+                        std::memcpy(buf_, other.buf_, N);
+                } else {
+                    std::memcpy(buf_, other.buf_, N);
+                }
+            } else {
                 ops_->relocate(other.buf_, buf_);
+            }
             other.ops_ = nullptr;
         }
     }

@@ -56,6 +56,22 @@ class RingDeque
     T &front() { return *ptr(0); }
     T &back() { return *ptr(size_ - 1); }
 
+    /** The two contiguous element runs (second may be empty): scan
+     *  loops walk raw pointers instead of masked indexed access. */
+    std::pair<const T *, std::size_t>
+    seg0() const
+    {
+        const std::size_t n = cap_ - head_;
+        return {data_ + head_, size_ < n ? size_ : n};
+    }
+
+    std::pair<const T *, std::size_t>
+    seg1() const
+    {
+        const std::size_t n = cap_ - head_;
+        return {data_, size_ < n ? 0 : size_ - n};
+    }
+
     /** Ensure capacity for at least @p n elements (rounded up to a
      *  power of two); never shrinks. */
     void

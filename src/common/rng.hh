@@ -72,17 +72,27 @@ class Rng
     /**
      * Geometric gap with mean @p mean (>= 1), capped at @p cap.
      * Used for instruction gaps between memory accesses.
+     *
+     * The denominator log(1 - 1/mean) depends only on @p mean, which
+     * is constant per generator (or per drift phase), so the last
+     * value is memoized — callers alternating between a handful of
+     * means still pay one std::log per draw instead of two. The
+     * memo holds the identical double the inline expression produced,
+     * so draws are bit-for-bit unchanged.
      */
     std::uint64_t
     gap(double mean, std::uint64_t cap)
     {
         if (mean <= 1.0)
             return 1;
-        const double p = 1.0 / mean;
+        if (mean != gapMean_) {
+            gapMean_ = mean;
+            gapLogDenom_ = std::log(1.0 - 1.0 / mean);
+        }
         double u = real();
         if (u > 0.999999)
             u = 0.999999;
-        const double res = 1.0 + std::log(1.0 - u) / std::log(1.0 - p);
+        const double res = 1.0 + std::log(1.0 - u) / gapLogDenom_;
         const auto r = static_cast<std::uint64_t>(res < 1.0 ? 1.0 : res);
         return r > cap ? cap : r;
     }
@@ -107,6 +117,11 @@ class Rng
   private:
     std::uint64_t s0_;
     std::uint64_t s1_;
+    /** gap() memo; derived from the mean argument, so deliberately
+     *  not part of State — a cold memo after restore recomputes the
+     *  identical value. */
+    double gapMean_ = 0.0;
+    double gapLogDenom_ = 0.0;
 };
 
 } // namespace dapsim

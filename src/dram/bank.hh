@@ -4,6 +4,11 @@
  *
  * Banks track the open row and the ticks at which the next column
  * command and the next precharge may legally issue (tRCD/tCAS/tRP/tRAS).
+ *
+ * Timing products (cycles x period) are resolved once per channel into
+ * a BankTiming POD; the FR-FCFS scan probes banks against that single
+ * cache line instead of re-deriving five multiplications from the
+ * config on every candidate.
  */
 
 #ifndef DAPSIM_DRAM_BANK_HH
@@ -18,6 +23,24 @@ namespace dapsim
 {
 
 struct DramConfig;
+
+/**
+ * Per-access timing products in ticks, resolved once from a
+ * DramConfig (see BankTiming::from). One cache line: the scheduler's
+ * candidate scan reads it on every probe, so it must never share a
+ * line with mutable channel state.
+ */
+struct alignas(64) BankTiming
+{
+    Tick tCas = 0;  ///< column-access latency
+    Tick tRcd = 0;  ///< activate-to-column delay
+    Tick tRp = 0;   ///< precharge latency
+    Tick tRas = 0;  ///< activate-to-precharge minimum
+    Tick tRfc = 0;  ///< refresh cycle time
+    Tick burst = 0; ///< data-bus occupancy of one burst
+
+    static BankTiming from(const DramConfig &cfg);
+};
 
 /** One DRAM bank: open-row state plus occupancy timeline. */
 class Bank
@@ -40,11 +63,33 @@ class Bank
      * Reserve the bank for a column access to @p row, requested at tick
      * @p at. Updates the bank timeline and open-row state.
      */
-    Access reserve(const DramConfig &cfg, Tick at, std::uint64_t row);
+    Access reserve(const BankTiming &t, Tick at, std::uint64_t row);
 
     /** Compute the access timing without changing any state (used by
-     *  the scheduler to rank candidates). */
+     *  the scheduler to rank candidates). Pure function over the three
+     *  state words — no bank copy, no writes. */
+    Access peek(const BankTiming &t, Tick at, std::uint64_t row) const;
+
+    /**
+     * Both answers peek() can give at tick @p at: the row argument
+     * only matters through equality with the open row, so one Probe
+     * ranks every queued request to this bank. On a page-empty bank
+     * the two arms coincide (any row must activate first).
+     */
+    struct Probe
+    {
+        std::uint64_t openRow; ///< kNoRow when page-empty
+        Tick hitAt;            ///< dataReadyAt for row == openRow
+        Tick otherAt;          ///< dataReadyAt for any other row
+    };
+
+    Probe probe(const BankTiming &t, Tick at) const;
+
+    /** Convenience overloads resolving timing per call (tests and
+     *  one-shot probes; the simulation hot path uses BankTiming). */
+    Access reserve(const DramConfig &cfg, Tick at, std::uint64_t row);
     Access peek(const DramConfig &cfg, Tick at, std::uint64_t row) const;
+    void refresh(const DramConfig &cfg, Tick now);
 
     /** Open row, or kNoRow. */
     std::uint64_t openRow() const { return openRow_; }
@@ -61,7 +106,7 @@ class Bank
 
     /** All-bank refresh: closes the row and occupies the bank for
      *  tRFC from @p now (or from its current busy point). */
-    void refresh(const DramConfig &cfg, Tick now);
+    void refresh(const BankTiming &t, Tick now);
 
     /** Checkpoint the row-buffer state (see src/ckpt/). */
     void

@@ -5,19 +5,34 @@
 namespace dapsim
 {
 
+ChannelTiming
+ChannelTiming::from(const DramConfig &cfg)
+{
+    ChannelTiming t;
+    t.period = cfg.periodPs();
+    t.turnaround = cfg.turnaroundCycles * t.period;
+    t.ioDelay = cfg.ioDelayCycles * t.period;
+    t.maxAhead = (cfg.tRP + cfg.tRCD + cfg.tCAS) * t.period +
+                 4 * cfg.burstTicks();
+    t.refi = cfg.tREFI * t.period;
+    return t;
+}
+
 Channel::Channel(EventQueue &eq, const DramConfig &cfg, std::uint32_t index)
-    : eq_(eq), cfg_(cfg), index_(index),
+    : eq_(eq), cfg_(cfg), bankTiming_(BankTiming::from(cfg)),
+      timing_(ChannelTiming::from(cfg)), index_(index),
       banks_(cfg.ranksPerChannel * cfg.banksPerRank)
 {
     readDemandQ_.reserve(cfg_.requestQueueReserve);
     readLowQ_.reserve(cfg_.requestQueueReserve);
     writeQ_.reserve(std::max<std::uint32_t>(cfg_.requestQueueReserve,
                                             cfg_.writeQueueHigh + 8));
+    cbSlots_.reserve(3 * cfg_.requestQueueReserve);
+    cbFree_.reserve(3 * cfg_.requestQueueReserve);
     if (cfg_.tREFI > 0) {
         // Stagger channels so refreshes don't align system-wide.
-        const Tick first = (index + 1) *
-                           (cfg_.tREFI * cfg_.periodPs()) /
-                           (cfg_.channels + 1);
+        const Tick first =
+            (index + 1) * timing_.refi / (cfg_.channels + 1);
         eq_.schedule(first, EventQueue::Callback::of<&Channel::refreshTick>(this));
     }
 }
@@ -27,21 +42,47 @@ Channel::refreshTick()
 {
     refreshes.inc();
     for (Bank &b : banks_)
-        b.refresh(cfg_, eq_.now());
-    eq_.scheduleAfter(cfg_.tREFI * cfg_.periodPs(),
+        b.refresh(bankTiming_, eq_.now());
+    eq_.scheduleAfter(timing_.refi,
                       EventQueue::Callback::of<&Channel::refreshTick>(this));
+}
+
+std::uint32_t
+Channel::putCb(EventQueue::Callback &&cb)
+{
+    if (!cbFree_.empty()) {
+        const std::uint32_t idx = cbFree_.back();
+        cbFree_.pop_back();
+        cbSlots_[idx] = std::move(cb);
+        return idx;
+    }
+    cbSlots_.push_back(std::move(cb));
+    return static_cast<std::uint32_t>(cbSlots_.size() - 1);
+}
+
+EventQueue::Callback
+Channel::takeCb(std::uint32_t idx)
+{
+    EventQueue::Callback cb = std::move(cbSlots_[idx]);
+    cbFree_.push_back(idx);
+    return cb;
 }
 
 void
 Channel::enqueue(ChannelRequest req)
 {
-    req.enqueuedAt = eq_.now();
+    HotReq hot;
+    hot.row = req.row;
+    hot.enqueuedAt = eq_.now();
+    hot.bank = req.bank;
+    hot.extraDataClocks = req.extraDataClocks;
+    hot.cb = putCb(std::move(req.onComplete));
     if (req.isWrite)
-        writeQ_.push_back(std::move(req));
+        writeQ_.push_back(hot);
     else if (req.lowPriority)
-        readLowQ_.push_back(std::move(req));
+        readLowQ_.push_back(hot);
     else
-        readDemandQ_.push_back(std::move(req));
+        readDemandQ_.push_back(hot);
     scheduleKick(eq_.now());
 }
 
@@ -71,26 +112,58 @@ Channel::kickTick()
     kick();
 }
 
-template <class At>
-std::size_t
-Channel::pickAt(std::size_t len, At &&at) const
+Channel::Pick
+Channel::pickSpans(const std::pair<const HotReq *, std::size_t> *spans,
+                   std::size_t nspans, std::size_t depth) const
 {
     // FR-FCFS flavour: within the scan window, choose the request
     // whose data could start earliest (row hits on ready banks win;
     // requests to backed-up banks lose). Ties resolve to the oldest,
     // which bounds starvation together with the scan depth.
-    const std::size_t depth =
-        std::min<std::size_t>(len, cfg_.schedulerScanDepth);
-    std::size_t best = 0;
-    Tick best_ready = ~Tick(0);
-    for (std::size_t i = 0; i < depth; ++i) {
-        const ChannelRequest &r = at(i);
-        const Bank::Access a =
-            banks_[r.bank].peek(cfg_, eq_.now(), r.row);
-        if (a.dataReadyAt < best_ready) {
-            best_ready = a.dataReadyAt;
-            best = i;
+    const Tick now = eq_.now();
+    // No candidate can beat now + tCAS (start = max(now, readyAt) and
+    // the cheapest arm is a row hit), and ties already go to the
+    // earliest-scanned entry — so a candidate at the floor ends the
+    // scan exactly.
+    const Tick floor = now + bankTiming_.tCas;
+    Pick best{0, ~Tick(0)};
+    // One Bank::probe per distinct bank answers every candidate row
+    // (hit vs other), so interleaved-bank queues cost one state read
+    // per bank instead of one peek per entry.
+    constexpr std::size_t kMaxCachedBanks = 64;
+    Bank::Probe probes[kMaxCachedBanks];
+    std::uint64_t have = 0; // bitmask of banks already probed
+    const bool cacheable = banks_.size() <= kMaxCachedBanks;
+    std::size_t base = 0; // global index of the current span's start
+    for (std::size_t s = 0; s < nspans && depth != 0; ++s) {
+        const HotReq *p = spans[s].first;
+        const std::size_t n = std::min(spans[s].second, depth);
+        depth -= n;
+        for (std::size_t i = 0; i < n; ++i) {
+            const HotReq &r = p[i];
+            Tick ready;
+            if (cacheable) {
+                const std::uint64_t bit = std::uint64_t(1) << r.bank;
+                if ((have & bit) == 0) {
+                    probes[r.bank] =
+                        banks_[r.bank].probe(bankTiming_, now);
+                    have |= bit;
+                }
+                const Bank::Probe &pr = probes[r.bank];
+                ready = r.row == pr.openRow ? pr.hitAt : pr.otherAt;
+            } else {
+                ready = banks_[r.bank]
+                            .peek(bankTiming_, now, r.row)
+                            .dataReadyAt;
+            }
+            if (ready < best.dataReadyAt) {
+                best.dataReadyAt = ready;
+                best.idx = base + i;
+                if (ready <= floor)
+                    return best;
+            }
         }
+        base += n;
     }
     return best;
 }
@@ -98,10 +171,14 @@ Channel::pickAt(std::size_t len, At &&at) const
 Tick
 Channel::placeBus(Tick ready, Tick occ, bool reserve)
 {
-    // Prune reservations that ended in the past.
+    // Prune expired reservations from the front only. An expired
+    // entry is transparent to placement (candidates always have
+    // ready > now, so neither loop condition can trigger on it), so
+    // a mid-vector straggler merely waits its turn to reach the
+    // front — no per-call full-vector erase_if scan.
     const Tick now = eq_.now();
-    std::erase_if(busResv_,
-                  [now](const auto &r) { return r.second <= now; });
+    while (!busResv_.empty() && busResv_.front().second <= now)
+        busResv_.erase(busResv_.begin());
 
     Tick start = ready;
     std::size_t pos = 0;
@@ -120,32 +197,23 @@ Channel::placeBus(Tick ready, Tick occ, bool reserve)
     return start;
 }
 
-Tick
-Channel::maxAhead() const
-{
-    // Tolerate a full row-conflict preparation plus a few bursts so
-    // bank preparations on independent banks can proceed in parallel.
-    return (cfg_.tRP + cfg_.tRCD + cfg_.tCAS) * cfg_.periodPs() +
-           4 * cfg_.burstTicks();
-}
-
 void
-Channel::issue(RingDeque<ChannelRequest> &q, std::size_t idx)
+Channel::issue(RingDeque<HotReq> &q, std::size_t idx, bool isWrite)
 {
-    ChannelRequest req = std::move(q[idx]);
+    const HotReq req = q[idx];
     q.erase(idx);
 
     Bank &bank = banks_[req.bank];
-    const Bank::Access acc = bank.reserve(cfg_, eq_.now(), req.row);
+    const Bank::Access acc = bank.reserve(bankTiming_, eq_.now(), req.row);
 
-    const Tick period = cfg_.periodPs();
-    Tick occupancy = cfg_.burstTicks() + req.extraDataClocks * period;
-    if (req.isWrite != lastWasWrite_) {
+    Tick occupancy = bankTiming_.burst +
+                     req.extraDataClocks * timing_.period;
+    if (isWrite != lastWasWrite_) {
         // Direction flip: charge the turnaround as bus occupancy.
-        occupancy += cfg_.turnaroundCycles * period;
+        occupancy += timing_.turnaround;
         turnarounds.inc();
     }
-    lastWasWrite_ = req.isWrite;
+    lastWasWrite_ = isWrite;
 
     const Tick dataStart = placeBus(acc.dataReadyAt, occupancy, true);
     const Tick dataEnd = dataStart + occupancy;
@@ -158,10 +226,10 @@ Channel::issue(RingDeque<ChannelRequest> &q, std::size_t idx)
 
     if (busTrace_)
         busTrace_->onBusSpan(traceSource_, index_, dataStart, dataEnd,
-                             req.isWrite, acc.rowHit);
+                             isWrite, acc.rowHit);
 
-    const Tick ioDelay = cfg_.ioDelayCycles * period;
-    if (req.isWrite) {
+    const Tick ioDelay = timing_.ioDelay;
+    if (isWrite) {
         casWrites.inc();
     } else {
         casReads.inc();
@@ -171,9 +239,10 @@ Channel::issue(RingDeque<ChannelRequest> &q, std::size_t idx)
                                                req.enqueuedAt));
     }
 
-    if (req.onComplete) {
-        const Tick doneAt = req.isWrite ? dataEnd : dataEnd + ioDelay;
-        eq_.schedule(doneAt, std::move(req.onComplete));
+    EventQueue::Callback cb = takeCb(req.cb);
+    if (cb) {
+        const Tick doneAt = isWrite ? dataEnd : dataEnd + ioDelay;
+        eq_.schedule(doneAt, std::move(cb));
     }
 }
 
@@ -204,26 +273,31 @@ Channel::kick()
         const bool fromWrites =
             (draining_ && !writeQ_.empty()) || readLen == 0;
 
-        std::size_t idx;
-        const ChannelRequest *cand;
+        // The scan already probed the winner's bank, so its data-ready
+        // tick rides along in the Pick — no second peek here. Reads
+        // scan as one sequence — demands, then lows — which is the
+        // FR-FCFS scan (and tie-break) order of a combined
+        // priority-sorted queue.
+        std::pair<const HotReq *, std::size_t> spans[4];
+        std::size_t nspans;
         if (fromWrites) {
-            idx = pickAt(writeQ_.size(), [this](std::size_t i)
-                             -> const ChannelRequest & {
-                return writeQ_[i];
-            });
-            cand = &writeQ_[idx];
+            spans[0] = writeQ_.seg0();
+            spans[1] = writeQ_.seg1();
+            nspans = 2;
         } else {
-            idx = pickAt(readLen, [this](std::size_t i)
-                             -> const ChannelRequest & {
-                return readAt(i);
-            });
-            cand = &readAt(idx);
+            spans[0] = readDemandQ_.seg0();
+            spans[1] = readDemandQ_.seg1();
+            spans[2] = readLowQ_.seg0();
+            spans[3] = readLowQ_.seg1();
+            nspans = 4;
         }
+        const Pick p = pickSpans(
+            spans, nspans,
+            std::min<std::size_t>(fromWrites ? writeQ_.size() : readLen,
+                                  cfg_.schedulerScanDepth));
 
-        const Bank::Access a =
-            banks_[cand->bank].peek(cfg_, eq_.now(), cand->row);
         const Tick start =
-            placeBus(a.dataReadyAt, cfg_.burstTicks(), false);
+            placeBus(p.dataReadyAt, bankTiming_.burst, false);
         if (start > eq_.now() + maxAhead()) {
             kicksWait.inc();
             scheduleKick(start - maxAhead());
@@ -232,11 +306,11 @@ Channel::kick()
 
         kicksIssue.inc();
         if (fromWrites)
-            issue(writeQ_, idx);
-        else if (idx < readDemandQ_.size())
-            issue(readDemandQ_, idx);
+            issue(writeQ_, p.idx, true);
+        else if (p.idx < readDemandQ_.size())
+            issue(readDemandQ_, p.idx, false);
         else
-            issue(readLowQ_, idx - readDemandQ_.size());
+            issue(readLowQ_, p.idx - readDemandQ_.size(), false);
     }
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/serializer.hh"
@@ -43,7 +44,6 @@ struct ChannelRequest
      *  Move-only (inline storage, see common/inline_callback.hh), so
      *  ChannelRequest itself is move-only. */
     EventQueue::Callback onComplete;
-    Tick enqueuedAt = 0;
 };
 
 /**
@@ -66,6 +66,23 @@ struct BusTraceHook
     virtual void onBusSpan(const std::string &source,
                            std::uint32_t channel, Tick start, Tick end,
                            bool isWrite, bool rowHit) = 0;
+};
+
+/**
+ * Channel-level constants resolved from DramConfig at construction:
+ * everything issue()/kick() used to re-derive per access (period
+ * multiplications, the look-ahead window) lives on one read-only
+ * cache line next to the BankTiming line.
+ */
+struct alignas(64) ChannelTiming
+{
+    Tick period = 0;     ///< command-clock period (ps)
+    Tick turnaround = 0; ///< direction-flip bus occupancy
+    Tick ioDelay = 0;    ///< post-burst board/floorplan I/O delay
+    Tick maxAhead = 0;   ///< scheduler look-ahead window (see maxAhead())
+    Tick refi = 0;       ///< refresh interval (0 = disabled)
+
+    static ChannelTiming from(const DramConfig &cfg);
 };
 
 /** One channel with its banks, queues and scheduler. */
@@ -122,6 +139,28 @@ class Channel
     Average readLatency;      ///< ticks from enqueue to completion (reads)
 
   private:
+    /**
+     * Queued request with the completion callback parked elsewhere:
+     * the FR-FCFS scan and positional erases stream over 32-byte
+     * PODs instead of striding across (and move-constructing)
+     * callback-carrying ~112-byte ChannelRequests. @c cb indexes
+     * cbSlots_.
+     */
+    struct HotReq
+    {
+        std::uint64_t row;
+        Tick enqueuedAt;
+        std::uint32_t bank;
+        std::uint32_t extraDataClocks;
+        std::uint32_t cb;
+    };
+
+    /** Park @p cb in a free slot; returns its index. */
+    std::uint32_t putCb(EventQueue::Callback &&cb);
+
+    /** Move the callback out of slot @p idx and recycle the slot. */
+    EventQueue::Callback takeCb(std::uint32_t idx);
+
     /** Try to issue requests; reschedules itself as needed. */
     void kick();
 
@@ -131,21 +170,19 @@ class Channel
     /** Pre-bound kick event body: drops stale (superseded) wakeups. */
     void kickTick();
 
-    /** The read queue viewed as one sequence: demands, then lows —
-     *  the FR-FCFS scan order (and tie-break order) of a combined
-     *  priority-sorted queue. */
-    const ChannelRequest &
-    readAt(std::size_t i) const
+    /** Winning candidate of one FR-FCFS scan: queue position plus the
+     *  bank probe result, so kick() need not re-peek the winner. */
+    struct Pick
     {
-        return i < readDemandQ_.size()
-                   ? readDemandQ_[i]
-                   : readLowQ_[i - readDemandQ_.size()];
-    }
+        std::size_t idx = 0;
+        Tick dataReadyAt = 0;
+    };
 
     /** Pick the best candidate (earliest data) among the first
-     *  @p len entries of @p at (indexable view). */
-    template <class At>
-    std::size_t pickAt(std::size_t len, At &&at) const;
+     *  @p depth entries of the concatenated @p spans (contiguous
+     *  HotReq runs in scan order). Total span length must be > 0. */
+    Pick pickSpans(const std::pair<const HotReq *, std::size_t> *spans,
+                   std::size_t nspans, std::size_t depth) const;
 
     /**
      * Find the earliest bus slot of length @p occ starting at or after
@@ -154,22 +191,29 @@ class Channel
     Tick placeBus(Tick ready, Tick occ, bool reserve);
 
     /** Issue one request from @p q at position @p idx. */
-    void issue(RingDeque<ChannelRequest> &q, std::size_t idx);
+    void issue(RingDeque<HotReq> &q, std::size_t idx, bool isWrite);
 
     /** Longest tolerated gap between now and a candidate's data start
-     *  before the scheduler goes back to sleep. */
-    Tick maxAhead() const;
+     *  before the scheduler goes back to sleep: a full row-conflict
+     *  preparation plus a few bursts, precomputed in timing_. */
+    Tick maxAhead() const { return timing_.maxAhead; }
 
     /** Periodic all-bank refresh (active when cfg.tREFI > 0). */
     void refreshTick();
 
     EventQueue &eq_;
     const DramConfig &cfg_;
+    /** Hot read-only timing constants (two dedicated cache lines). */
+    BankTiming bankTiming_;
+    ChannelTiming timing_;
     [[maybe_unused]] std::uint32_t index_;
 
-    RingDeque<ChannelRequest> readDemandQ_;
-    RingDeque<ChannelRequest> readLowQ_;
-    RingDeque<ChannelRequest> writeQ_;
+    RingDeque<HotReq> readDemandQ_;
+    RingDeque<HotReq> readLowQ_;
+    RingDeque<HotReq> writeQ_;
+    /** Parked completion callbacks + freelist (see HotReq::cb). */
+    std::vector<EventQueue::Callback> cbSlots_;
+    std::vector<std::uint32_t> cbFree_;
     std::vector<Bank> banks_;
 
     /** Future bus reservations [start, end), sorted by start tick. */

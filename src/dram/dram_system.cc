@@ -7,6 +7,13 @@ DramSystem::DramSystem(EventQueue &eq, DramConfig cfg)
     : eq_(eq), cfg_(std::move(cfg))
 {
     cfg_.validate();
+    chDiv_ = FastDiv::of(cfg_.channels);
+    rowBlkDiv_ = FastDiv::of(static_cast<std::uint64_t>(cfg_.channels) *
+                             cfg_.blocksPerRow());
+    colDiv_ = FastDiv::of(cfg_.blocksPerRow());
+    bankDiv_ = FastDiv::of(static_cast<std::uint64_t>(
+                               cfg_.ranksPerChannel) *
+                           cfg_.banksPerRank);
     channels_.reserve(cfg_.channels);
     for (std::uint32_t i = 0; i < cfg_.channels; ++i)
         channels_.push_back(std::make_unique<Channel>(eq_, cfg_, i));
@@ -22,17 +29,14 @@ DramSystem::decode(Addr addr) const
     // over all channels instead of aliasing onto one.
     std::uint64_t b = blockNumber(addr);
     Decoded d{};
-    const std::uint64_t global_row =
-        b / (cfg_.channels * cfg_.blocksPerRow());
+    const std::uint64_t global_row = rowBlkDiv_.div(b);
     d.channel = static_cast<std::uint32_t>(
-        (b + indexHash(global_row)) % cfg_.channels);
-    b /= cfg_.channels;
-    const std::uint64_t cols = cfg_.blocksPerRow();
-    b /= cols; // column index within row does not affect timing state
-    const std::uint64_t banks = static_cast<std::uint64_t>(
-        cfg_.ranksPerChannel) * cfg_.banksPerRank;
-    d.bank = static_cast<std::uint32_t>(b % banks);
-    d.row = b / banks;
+        chDiv_.mod(b + indexHash(global_row)));
+    b = chDiv_.div(b);
+    // Column index within row does not affect timing state.
+    b = colDiv_.div(b);
+    d.bank = static_cast<std::uint32_t>(bankDiv_.mod(b));
+    d.row = bankDiv_.div(b);
     return d;
 }
 

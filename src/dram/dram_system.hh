@@ -101,6 +101,12 @@ class DramSystem
 
     EventQueue &eq_;
     DramConfig cfg_;
+    /** Address-decode divisors, resolved once (shifts for the
+     *  power-of-two geometries every production config uses). */
+    FastDiv chDiv_;      ///< by cfg_.channels
+    FastDiv rowBlkDiv_;  ///< by channels * blocksPerRow
+    FastDiv colDiv_;     ///< by blocksPerRow
+    FastDiv bankDiv_;    ///< by ranksPerChannel * banksPerRank
     std::vector<std::unique_ptr<Channel>> channels_;
     /** Fast-forward credits (not part of any channel's state; zero in
      *  exact fidelity, so checkpoints never carry them). */

@@ -157,7 +157,7 @@ jobId(const JobSpec &spec)
 
 JobResult
 runJob(const JobSpec &spec, std::size_t index,
-       const ckpt::Checkpoint *fork)
+       const ckpt::CheckpointView *fork)
 {
     JobResult out;
     out.index = index;

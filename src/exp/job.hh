@@ -131,7 +131,7 @@ struct JobResult
  * warmup-fork mode. Ignored for custom jobs.
  */
 JobResult runJob(const JobSpec &spec, std::size_t index,
-                 const ckpt::Checkpoint *fork = nullptr);
+                 const ckpt::CheckpointView *fork = nullptr);
 
 } // namespace dapsim::exp
 

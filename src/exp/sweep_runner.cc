@@ -127,7 +127,7 @@ SweepRunner::execute(std::size_t i)
             recordSpan("warmup " + hashHex(g->stateHash), "warmup",
                        wstart, nowUs());
         });
-        r = runJob(specs_[i], i, g->ckpt.get());
+        r = runJob(specs_[i], i, g->ckpt ? &g->ckpt : nullptr);
     }
     recordSpan(specs_[i].displayLabel(), r.ok ? "job" : "failed",
                start, nowUs());

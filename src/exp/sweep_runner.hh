@@ -112,7 +112,7 @@ class SweepRunner
         std::once_flag once;
         /** Shared snapshot; null when preparation failed (the group's
          *  jobs then fall back to running their own warm-up). */
-        std::shared_ptr<const ckpt::Checkpoint> ckpt;
+        ckpt::CheckpointView ckpt;
     };
 
     /** Deliver any contiguous completed prefix to the sinks. A sink

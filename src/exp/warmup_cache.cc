@@ -82,12 +82,16 @@ WarmupCache::Result
 WarmupCache::prepare(const JobSpec &spec, std::uint64_t state_hash)
 {
     Result out;
+    // The heap checkpoint this call simulated (kept so the acquired
+    // branch can publish it to disk after serving the view).
+    std::shared_ptr<const ckpt::Checkpoint> simulated;
     auto simulate = [&]() {
         SystemConfig cfg = spec.cfg;
         cfg.policy = spec.policy;
-        out.ckpt = std::make_shared<ckpt::Checkpoint>(
+        simulated = std::make_shared<const ckpt::Checkpoint>(
             ckpt::makeWarmupCheckpoint(cfg, spec.mix, spec.instr,
                                        spec.seedSalt));
+        out.ckpt = ckpt::viewOf(simulated);
         out.executed = true;
     };
 
@@ -100,9 +104,11 @@ WarmupCache::prepare(const JobSpec &spec, std::uint64_t state_hash)
     const std::string lock = path + ".lock";
     auto tryLoad = [&]() -> bool {
         try {
-            auto loaded = std::make_shared<ckpt::Checkpoint>(
-                ckpt::readFile(path));
-            if (loaded->header.stateHash != state_hash)
+            // Serve the published checkpoint as a read-only mapping:
+            // every forked job deserializes straight from the page
+            // cache, no per-process heap copy of a multi-MB payload.
+            ckpt::CheckpointView loaded = ckpt::readFileMapped(path);
+            if (loaded.header.stateHash != state_hash)
                 return false; // foreign file under our name: recreate
             out.ckpt = std::move(loaded);
             out.reused = true;
@@ -145,7 +151,7 @@ WarmupCache::prepare(const JobSpec &spec, std::uint64_t state_hash)
             }
             try {
                 simulate();
-                ckpt::writeFileAtomic(path, *out.ckpt);
+                ckpt::writeFileAtomic(path, *simulated);
             } catch (...) {
                 ::unlink(lock.c_str());
                 throw;

@@ -51,9 +51,12 @@ class WarmupCache
 
     struct Result
     {
-        /** Null when the warmup itself failed (callers fall back to
-         *  running jobs unforked). */
-        std::shared_ptr<const ckpt::Checkpoint> ckpt;
+        /** Empty when the warmup itself failed (callers fall back to
+         *  running jobs unforked). On-disk checkpoints are served as
+         *  memory-mapped views, so fleet-wide warmup-fork restores
+         *  deserialize straight out of the page cache instead of
+         *  re-reading and copying the bytes per job. */
+        ckpt::CheckpointView ckpt;
         /** THIS call simulated the warmup (vs loaded/waited). */
         bool executed = false;
         /** Satisfied from an on-disk checkpoint made elsewhere. */

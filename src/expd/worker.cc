@@ -21,8 +21,11 @@ runWorker(const WorkerOptions &opt)
         throw StoreError("expq: worker shard must be i/N with i < N");
 
     const Store store = Store::open(opt.storeDir);
+    // std::string("w") + ... rather than "w" + ...: the const char*
+    // overload routes through insert(), which GCC 12's -Wrestrict
+    // misanalyzes at -O3 (false positive; CI builds with -Werror).
     const std::string worker_id =
-        opt.workerId.empty() ? "w" + std::to_string(::getpid())
+        opt.workerId.empty() ? std::string("w") + std::to_string(::getpid())
                              : opt.workerId;
     const Replay before = store.replay();
     exp::WarmupCache warmups(store.ckptDir(), opt.leaseTtlSec);
@@ -77,11 +80,11 @@ runWorker(const WorkerOptions &opt)
         try {
             events.append(startRecord(i, worker_id));
 
-            const ckpt::Checkpoint *fork = nullptr;
+            const ckpt::CheckpointView *fork = nullptr;
             exp::WarmupCache::Result shared;
             if (!job.group.empty()) {
                 shared = warmups.ensure(job.spec);
-                fork = shared.ckpt.get();
+                fork = shared.ckpt ? &shared.ckpt : nullptr;
                 if (shared.executed || shared.reused) {
                     events.append(warmupRecord(job.group, worker_id,
                                                shared.executed));

@@ -7,6 +7,8 @@ EdramCache::EdramCache(EventQueue &eq, DramSystem &main_memory,
                        PartitionPolicy &policy,
                        const EdramCacheConfig &cfg)
     : MemSideCache(eq, main_memory, policy), cfg_(cfg),
+      secDiv_(FastDiv::of(cfg.sectorBytes)),
+      wayDiv_(FastDiv::of(cfg.ways)),
       readArray_(eq, cfg.readChannels), writeArray_(eq, cfg.writeChannels),
       dir_(cfg.numSets(), cfg.ways, ReplPolicy::NRU),
       footprint_(cfg.footprint, cfg.blocksPerSector())
@@ -17,7 +19,7 @@ Addr
 EdramCache::dataAddr(std::uint64_t sec, std::uint32_t blk) const
 {
     const std::uint64_t frame =
-        setOf(sec) * cfg_.ways + (sec % cfg_.ways);
+        setOf(sec) * cfg_.ways + wayDiv_.mod(sec);
     return frame * cfg_.sectorBytes +
            static_cast<Addr>(blk) * kBlockBytes;
 }

@@ -94,17 +94,16 @@ class EdramCache final : public MemSideCache
     void restore(ckpt::Deserializer &d) override;
 
   private:
-    std::uint64_t sectorNumber(Addr a) const { return a / cfg_.sectorBytes; }
+    std::uint64_t sectorNumber(Addr a) const { return secDiv_.div(a); }
     std::uint64_t setOf(std::uint64_t sec) const
     {
-        return indexHash(sec) % dir_.numSets();
+        return dir_.mapSet(indexHash(sec));
     }
     std::uint64_t tagOf(std::uint64_t sec) const { return sec; }
     std::uint32_t
     blkOf(Addr a) const
     {
-        return static_cast<std::uint32_t>((a % cfg_.sectorBytes) /
-                                          kBlockBytes);
+        return static_cast<std::uint32_t>(secDiv_.mod(a) / kBlockBytes);
     }
     std::uint64_t
     sectorNumberFrom(std::uint64_t, std::uint64_t tag) const
@@ -123,6 +122,10 @@ class EdramCache final : public MemSideCache
                          const SectorMeta &meta);
 
     EdramCacheConfig cfg_;
+    /** Per-access address split by cfg_.sectorBytes / cfg_.ways —
+     *  shifts for the power-of-two production geometries. */
+    FastDiv secDiv_;
+    FastDiv wayDiv_;
     DramSystem readArray_;
     DramSystem writeArray_;
     AssocCache<SectorMeta> dir_;

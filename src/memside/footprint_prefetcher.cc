@@ -1,5 +1,7 @@
 #include "memside/footprint_prefetcher.hh"
 
+#include <type_traits>
+
 #include "common/log.hh"
 
 namespace dapsim
@@ -8,6 +10,7 @@ namespace dapsim
 FootprintPrefetcher::FootprintPrefetcher(const FootprintConfig &cfg,
                                          std::uint32_t blocks_per_sector)
     : cfg_(cfg), blocksPerSector_(blocks_per_sector),
+      idxDiv_(FastDiv::of(cfg.tableEntries)),
       table_(cfg.tableEntries)
 {
     if (blocks_per_sector == 0 || blocks_per_sector > 64)
@@ -17,8 +20,8 @@ FootprintPrefetcher::FootprintPrefetcher(const FootprintConfig &cfg,
 std::size_t
 FootprintPrefetcher::indexOf(std::uint64_t sector_number) const
 {
-    return static_cast<std::size_t>(
-        (sector_number * 0x9e3779b97f4a7c15ULL) >> 32) % table_.size();
+    return static_cast<std::size_t>(idxDiv_.mod(
+        (sector_number * 0x9e3779b97f4a7c15ULL) >> 32));
 }
 
 std::uint64_t
@@ -63,9 +66,19 @@ FootprintPrefetcher::save(ckpt::Serializer &s) const
 {
     s.u64(table_.size());
     s.u32(blocksPerSector_);
-    for (const Entry &e : table_) {
-        s.u64(e.tag);
-        s.u64(e.mask);
+    if (s.format() >= 2) {
+        // Entry is two packed u64s; the whole table goes out as one
+        // little-endian span (and restores with a single memcpy).
+        static_assert(sizeof(Entry) == 2 * sizeof(std::uint64_t));
+        static_assert(std::has_unique_object_representations_v<Entry>);
+        s.u64Span(reinterpret_cast<const std::uint64_t *>(
+                      table_.data()),
+                  table_.size() * 2);
+    } else {
+        for (const Entry &e : table_) {
+            s.u64(e.tag);
+            s.u64(e.mask);
+        }
     }
     s.u64(predictions.value());
     s.u64(historyHits.value());
@@ -76,9 +89,14 @@ FootprintPrefetcher::restore(ckpt::Deserializer &d)
 {
     if (d.u64() != table_.size() || d.u32() != blocksPerSector_)
         throw ckpt::CkptError("ckpt: footprint table shape mismatch");
-    for (Entry &e : table_) {
-        e.tag = d.u64();
-        e.mask = d.u64();
+    if (d.format() >= 2) {
+        d.u64Span(reinterpret_cast<std::uint64_t *>(table_.data()),
+                  table_.size() * 2);
+    } else {
+        for (Entry &e : table_) {
+            e.tag = d.u64();
+            e.mask = d.u64();
+        }
     }
     predictions.set(d.u64());
     historyHits.set(d.u64());

@@ -66,6 +66,8 @@ class FootprintPrefetcher
 
     FootprintConfig cfg_;
     std::uint32_t blocksPerSector_;
+    /** Table index reduction (a mask for power-of-two table sizes). */
+    FastDiv idxDiv_;
     std::vector<Entry> table_;
 };
 

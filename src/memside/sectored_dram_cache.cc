@@ -3,31 +3,13 @@
 namespace dapsim
 {
 
-/** Shared state coordinating an SFRM memory read with the tag fetch. */
-struct SfrmState
-{
-    bool active = false;     ///< SFRM read was launched
-    bool memDone = false;    ///< MM response arrived
-    bool missOrClean = false;///< tag state resolved to miss/clean hit
-    bool dirtyHit = false;   ///< tag state resolved to dirty hit
-    MemSideCache::Done done; ///< CPU completion (fired exactly once)
-    bool completed = false;
-
-    void
-    complete()
-    {
-        if (!completed && done) {
-            completed = true;
-            done();
-        }
-    }
-};
-
 SectoredDramCache::SectoredDramCache(EventQueue &eq,
                                      DramSystem &main_memory,
                                      PartitionPolicy &policy,
                                      const SectoredDramCacheConfig &cfg)
     : MemSideCache(eq, main_memory, policy), cfg_(cfg),
+      secDiv_(FastDiv::of(cfg.sectorBytes)),
+      wayDiv_(FastDiv::of(cfg.ways)),
       array_(eq, cfg.array),
       dir_(cfg.numSets(), cfg.ways, ReplPolicy::NRU),
       tagCache_(cfg.tagCache),
@@ -42,7 +24,7 @@ SectoredDramCache::dataAddr(std::uint64_t sec, std::uint32_t blk) const
     // sector share a DRAM row neighbourhood and the set's metadata is
     // co-located with its frames (as real sectored DRAM caches do).
     const std::uint64_t frame =
-        setOf(sec) * cfg_.ways + (sec % cfg_.ways);
+        setOf(sec) * cfg_.ways + wayDiv_.mod(sec);
     return frame * cfg_.sectorBytes +
            static_cast<Addr>(blk) * kBlockBytes;
 }
@@ -74,7 +56,7 @@ SectoredDramCache::issueMetaWrite(std::uint64_t set)
 void
 SectoredDramCache::lookupTags(Addr addr, bool is_read,
                               EventQueue::Callback next,
-                              std::shared_ptr<SfrmState> sfrm)
+                              const SfrmRef &sfrm)
 {
     const std::uint64_t set = setOf(sectorNumber(addr));
     const TagCache::LookupResult tc = tagCache_.access(set);
@@ -136,7 +118,7 @@ SectoredDramCache::handleRead(Addr addr, Done done)
         steerOverridden.inc();
     }
 
-    auto sfrm = std::make_shared<SfrmState>();
+    SfrmRef sfrm = SfrmRef::make();
     sfrm->done = std::move(done);
     lookupTags(addr, true,
                [this, addr, sfrm] { resolveRead(addr, sfrm); },
@@ -144,7 +126,7 @@ SectoredDramCache::handleRead(Addr addr, Done done)
 }
 
 void
-SectoredDramCache::resolveRead(Addr addr, std::shared_ptr<SfrmState> sfrm)
+SectoredDramCache::resolveRead(Addr addr, const SfrmRef &sfrm)
 {
     const std::uint64_t sec = sectorNumber(addr);
     const std::uint64_t set = setOf(sec);

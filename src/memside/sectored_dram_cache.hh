@@ -18,9 +18,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <utility>
 
 #include "cache/assoc_cache.hh"
 #include "cache/sector.hh"
+#include "common/inline_callback.hh"
 #include "cache/tag_cache.hh"
 #include "dram/presets.hh"
 #include "memside/footprint_prefetcher.hh"
@@ -100,20 +103,105 @@ class SectoredDramCache final : public MemSideCache
     Counter steerOverridden; ///< steers cancelled because block dirty
 
   private:
-    // Address helpers.
-    std::uint64_t sectorNumber(Addr a) const { return a / cfg_.sectorBytes; }
+    /** Shared state coordinating an SFRM memory read with the tag
+     *  fetch (one per read in flight, see SfrmRef). */
+    struct SfrmState
+    {
+        bool active = false;      ///< SFRM read was launched
+        bool memDone = false;     ///< MM response arrived
+        bool missOrClean = false; ///< tag resolved to miss/clean hit
+        bool dirtyHit = false;    ///< tag resolved to dirty hit
+        bool completed = false;
+        /** Intrusive count; non-atomic — each System is single-
+         *  threaded, states never cross threads. Starts at 1 for the
+         *  SfrmRef make() returns. */
+        std::uint32_t refs = 1;
+        Done done; ///< CPU completion (fired exactly once)
+
+        void
+        complete()
+        {
+            if (!completed && done) {
+                completed = true;
+                done();
+            }
+        }
+    };
+
+    /**
+     * Refcounted handle to a pooled SfrmState. Replaces a per-read
+     * make_shared on the hot path: storage recycles through the
+     * thread-local CallbackSlotPool (which outlives every System on
+     * the thread, so handles parked in undispatched event-queue or
+     * channel callbacks destruct safely at teardown) and the count
+     * needs no atomic operations.
+     */
+    class SfrmRef
+    {
+      public:
+        SfrmRef() = default;
+        SfrmRef(std::nullptr_t) {}
+
+        /** Allocate a fresh state (refcount 1) from the slot pool. */
+        static SfrmRef
+        make()
+        {
+            static_assert(sizeof(SfrmState) <=
+                          detail::CallbackSlotPool::kSlotBytes);
+            return SfrmRef(::new (detail::CallbackSlotPool::alloc())
+                               SfrmState());
+        }
+
+        SfrmRef(const SfrmRef &o) noexcept : s_(o.s_)
+        {
+            if (s_ != nullptr)
+                ++s_->refs;
+        }
+
+        SfrmRef(SfrmRef &&o) noexcept : s_(o.s_) { o.s_ = nullptr; }
+
+        SfrmRef &
+        operator=(SfrmRef o) noexcept
+        {
+            std::swap(s_, o.s_);
+            return *this;
+        }
+
+        ~SfrmRef() { release(); }
+
+        SfrmState *operator->() const { return s_; }
+        explicit operator bool() const { return s_ != nullptr; }
+
+      private:
+        explicit SfrmRef(SfrmState *s) : s_(s) {}
+
+        void
+        release() noexcept
+        {
+            if (s_ != nullptr && --s_->refs == 0) {
+                s_->~SfrmState();
+                detail::CallbackSlotPool::release(s_);
+            }
+        }
+
+        SfrmState *s_ = nullptr;
+    };
+
+    // Address helpers. Sector size and way count are powers of two in
+    // every production geometry; the FastDivs make the per-access
+    // sector/block split shifts rather than hardware divides.
+    std::uint64_t sectorNumber(Addr a) const { return secDiv_.div(a); }
     /** Hashed set index (spreads base-aligned per-core slices). */
     std::uint64_t setOf(std::uint64_t sec) const
     {
-        return indexHash(sec) % dir_.numSets();
+        return dir_.mapSet(indexHash(sec));
     }
     /** The full sector number serves as the tag. */
     std::uint64_t tagOf(std::uint64_t sec) const { return sec; }
     std::uint32_t
     blkOf(Addr a) const
     {
-        return static_cast<std::uint32_t>((a % cfg_.sectorBytes) /
-                                          kBlockBytes);
+        return static_cast<std::uint32_t>(secDiv_.mod(a) / kBlockBytes);
     }
     std::uint64_t
     sectorNumberFrom(std::uint64_t, std::uint64_t tag) const
@@ -129,7 +217,7 @@ class SectoredDramCache final : public MemSideCache
 
     /** Resolve a read once the tag state is known; completion flows
      *  through the SfrmState (which exists for every read). */
-    void resolveRead(Addr addr, std::shared_ptr<struct SfrmState> sfrm);
+    void resolveRead(Addr addr, const SfrmRef &sfrm);
 
     /** Allocate a sector, evicting a victim and fetching the predicted
      *  footprint. @return whether the demand block will be filled. */
@@ -147,13 +235,17 @@ class SectoredDramCache final : public MemSideCache
 
     /** Run tag lookup; calls @p next once metadata is available. */
     void lookupTags(Addr addr, bool is_read, EventQueue::Callback next,
-                    std::shared_ptr<struct SfrmState> sfrm);
+                    const SfrmRef &sfrm);
 
     /** Write back dirty blocks of a victim sector. */
     void writebackVictim(std::uint64_t set, std::uint64_t victim_tag,
                          const SectorMeta &meta);
 
     SectoredDramCacheConfig cfg_;
+    /** Per-access address split by cfg_.sectorBytes (see sectorNumber). */
+    FastDiv secDiv_;
+    /** Frame selection by cfg_.ways (see dataAddr). */
+    FastDiv wayDiv_;
     DramSystem array_;
     AssocCache<SectorMeta> dir_;
     TagCache tagCache_;

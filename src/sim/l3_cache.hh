@@ -14,6 +14,7 @@
 #define DAPSIM_SIM_L3_CACHE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cache/assoc_cache.hh"
 #include "common/event_queue.hh"
@@ -100,16 +101,38 @@ class L3Cache
 
     std::uint64_t setOf(Addr a) const
     {
-        return indexHash(blockNumber(a)) % dir_.numSets();
+        return dir_.mapSet(indexHash(blockNumber(a)));
     }
     std::uint64_t tagOf(Addr a) const { return blockNumber(a); }
 
     void install(Addr addr, bool dirty);
 
+    /**
+     * In-flight read-miss continuation, parked by index: the lookup
+     * and completion closures capture {this, slot} (16 bytes, inline)
+     * instead of carrying the 80-byte Done through two pooled-slot
+     * callbacks per miss.
+     */
+    struct MissCont
+    {
+        Addr addr;
+        Tick issued;
+        Done done;
+    };
+
+    std::uint32_t putCont(Addr addr, Tick issued, Done &&done);
+    void freeCont(std::uint32_t idx);
+
+    /** Body of the post-lookup event for miss continuation @p slot. */
+    void lookupDone(std::uint32_t slot);
+
     EventQueue &eq_;
     L3Config cfg_;
     MemSideCache &ms_;
     AssocCache<Line> dir_;
+    /** Parked read-miss continuations + freelist (see MissCont). */
+    std::vector<MissCont> contSlots_;
+    std::vector<std::uint32_t> contFree_;
 };
 
 } // namespace dapsim

@@ -118,9 +118,9 @@ System::System(const SystemConfig &cfg,
             if (!w) {
                 // Demand reads train the stride prefetcher; prefetches
                 // are injected into the L3 as non-blocking reads.
-                std::vector<Addr> pfs;
-                pf->observe(a, pfs);
-                for (Addr p : pfs)
+                pfScratch_.clear();
+                pf->observe(a, pfScratch_);
+                for (Addr p : pfScratch_)
                     l3_->access(p, false, nullptr);
             }
             l3_->access(a, w, std::move(done));

@@ -270,6 +270,10 @@ class System
     std::vector<AccessGeneratorPtr> gens_;
     std::vector<std::unique_ptr<RobCore>> cores_;
     std::vector<std::unique_ptr<StridePrefetcher>> prefetchers_;
+    /** Scratch for the per-access prefetch candidate list (the issue
+     *  path runs to completion before the next access, so one buffer
+     *  serves all cores without a per-read vector allocation). */
+    std::vector<Addr> pfScratch_;
     /** Declared last: observers hold pointers into the components
      *  above, so they must be destroyed (and flushed) first. */
     std::unique_ptr<obs::Observability> obs_;

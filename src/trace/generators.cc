@@ -31,6 +31,8 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticParams &p)
     hotBlocks_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                static_cast<double>(blocks_) * p_.hotFraction));
+    meanGap_ = std::max(1.0, 1000.0 / p_.mpki);
+    meanRun_ = std::max(1.0, p_.runLength);
 }
 
 Addr
@@ -47,25 +49,26 @@ SyntheticGenerator::next(TraceRequest &out)
     Addr block;
     if (rng_.chance(p_.streamFraction)) {
         // Sequential streaming pointer, wrapping over the footprint.
+        // Both pointers stay < blocks_, so the wrap is a compare
+        // instead of a divide.
         block = streamPtr_;
-        streamPtr_ = (streamPtr_ + 1) % blocks_;
+        streamPtr_ = streamPtr_ + 1 == blocks_ ? 0 : streamPtr_ + 1;
     } else {
         // Random run: continue the current spatial run or start a new
         // one at a random (hot-biased) location.
         if (runLeft_ == 0) {
             runPtr_ = pickRandomBlock();
-            const double mean = std::max(1.0, p_.runLength);
-            runLeft_ = static_cast<std::uint32_t>(rng_.gap(mean, 64));
+            runLeft_ =
+                static_cast<std::uint32_t>(rng_.gap(meanRun_, 64));
         }
         block = runPtr_;
-        runPtr_ = (runPtr_ + 1) % blocks_;
+        runPtr_ = runPtr_ + 1 == blocks_ ? 0 : runPtr_ + 1;
         --runLeft_;
     }
 
     out.addr = p_.base + block * kBlockBytes;
     out.isWrite = rng_.chance(p_.writeFraction);
-    const double mean_gap = std::max(1.0, 1000.0 / p_.mpki);
-    out.instrGap = rng_.gap(mean_gap, 1'000'000);
+    out.instrGap = rng_.gap(meanGap_, 1'000'000);
     return true;
 }
 

@@ -82,6 +82,10 @@ class SyntheticGenerator final : public AccessGenerator
     std::uint32_t runLeft_ = 0;
     std::uint64_t blocks_;
     std::uint64_t hotBlocks_;
+    /** Per-access constants hoisted out of next(): the exact doubles
+     *  the inline expressions produced, computed once. */
+    double meanGap_;   ///< max(1, 1000 / mpki)
+    double meanRun_;   ///< max(1, runLength)
 };
 
 /** A pure fixed-rate streaming reader (Figure 1's bandwidth kernel). */

@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "ckpt/checkpoint.hh"
@@ -608,6 +610,99 @@ TEST(SweepWarmupFork, CkptDirIsReusedAcrossSweeps)
         expectIdentical(a[i].result, b[i].result);
     }
     std::filesystem::remove_all(dir);
+}
+
+/** Mid-stream v1 <-> v2 round trip: the same warm state captured in
+ *  both payload encodings restores to bit-identical runs, and a v1
+ *  checkpoint (legacy files) still restores under the v2-default
+ *  code. */
+TEST(CkptV2, V1AndV2CapturesRestoreBitIdentically)
+{
+    const SystemConfig cfg = sectoredTiny();
+    const Mix mix = tinyMix("mcf");
+    const RunResult direct = runMix(cfg, mix, kInstr, 7);
+
+    const ckpt::Checkpoint v1 = ckpt::makeWarmupCheckpoint(
+        cfg, mix, kInstr, 7, ckpt::kVersionV1);
+    const ckpt::Checkpoint v2 = ckpt::makeWarmupCheckpoint(
+        cfg, mix, kInstr, 7, ckpt::kVersionV2);
+    EXPECT_EQ(v1.header.version, 1u);
+    EXPECT_EQ(v2.header.version, 2u);
+    EXPECT_EQ(v1.header.stateHash, v2.header.stateHash);
+    EXPECT_EQ(v1.header.fullHash, v2.header.fullHash);
+
+    expectIdentical(direct,
+                    ckpt::runMixFromCheckpoint(cfg, mix, kInstr, 7, v1));
+    expectIdentical(direct,
+                    ckpt::runMixFromCheckpoint(cfg, mix, kInstr, 7, v2));
+}
+
+/** v2 forks skip the policy section exactly like v1 forks. */
+TEST(CkptV2, V2ForkSeedsOtherPolicies)
+{
+    SystemConfig cfg = sectoredTiny();
+    cfg.policy = PolicyKind::Baseline;
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck = ckpt::makeWarmupCheckpoint(
+        cfg, mix, kInstr, 7, ckpt::kVersionV2);
+
+    SystemConfig dap = cfg;
+    dap.policy = PolicyKind::Dap;
+    const RunResult direct = runMix(dap, mix, kInstr, 7);
+    expectIdentical(direct,
+                    ckpt::runMixFromCheckpoint(dap, mix, kInstr, 7, ck,
+                                               /*fork=*/true));
+}
+
+/** readFileMapped serves the same checkpoint as readFile, and the
+ *  restored run matches; the mapping outlives the restore via the
+ *  view's backing reference. */
+TEST(CkptV2, MappedReadMatchesHeapRead)
+{
+    const SystemConfig cfg = sectoredTiny();
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 7);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "dapsim_v2_map.ckpt")
+            .string();
+    ckpt::writeFileAtomic(path, ck);
+
+    const ckpt::Checkpoint heap = ckpt::readFile(path);
+    ckpt::CheckpointView mapped = ckpt::readFileMapped(path);
+    ASSERT_TRUE(static_cast<bool>(mapped));
+    EXPECT_EQ(mapped.header.version, heap.header.version);
+    EXPECT_EQ(mapped.header.stateHash, heap.header.stateHash);
+    ASSERT_EQ(mapped.payloadSize, heap.payload.size());
+    EXPECT_EQ(std::memcmp(mapped.payload, heap.payload.data(),
+                          heap.payload.size()),
+              0);
+
+    const RunResult direct = runMix(cfg, mix, kInstr, 7);
+    expectIdentical(direct, ckpt::runMixFromCheckpoint(cfg, mix, kInstr,
+                                                       7, mapped));
+    std::filesystem::remove(path);
+}
+
+/** Corrupt payload bytes are rejected by the mapped reader too. */
+TEST(CkptV2, MappedReadRejectsCorruption)
+{
+    const SystemConfig cfg = sectoredTiny();
+    const Mix mix = tinyMix("mcf");
+    const ckpt::Checkpoint ck =
+        ckpt::makeWarmupCheckpoint(cfg, mix, kInstr, 7);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "dapsim_v2_bad.ckpt")
+            .string();
+    std::vector<std::uint8_t> bytes = ckpt::encode(ck);
+    bytes[bytes.size() - 1] ^= 0xff;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW((void)ckpt::readFileMapped(path), ckpt::CkptError);
+    std::filesystem::remove(path);
 }
 
 } // namespace

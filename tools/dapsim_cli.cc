@@ -48,6 +48,7 @@ struct Options
     std::uint64_t seed = 0;
     std::string saveCkpt;
     std::string restoreCkpt;
+    std::uint32_t ckptFormat = ckpt::kVersion;
     bool stats = false;
     bool remote = false;
     double remoteScale = 4.0;
@@ -92,6 +93,9 @@ usage()
         "  --save-ckpt FILE     snapshot the post-warmup state to FILE\n"
         "  --restore-ckpt FILE  skip warm-up; restore the state from "
         "FILE\n"
+        "  --ckpt-format v1|v2  encoding for --save-ckpt (default v2:\n"
+        "                       bulk-span, memcpy restore; v1 = legacy\n"
+        "                       per-primitive stream)\n"
         "  --sample-every N     sample stats every N CPU cycles\n"
         "  --sample-out FILE    time-series output (with "
         "--sample-every)\n"
@@ -213,6 +217,15 @@ main(int argc, char **argv)
             opt.saveCkpt = value();
         else if (a == "--restore-ckpt")
             opt.restoreCkpt = value();
+        else if (a == "--ckpt-format") {
+            const std::string v = value();
+            if (v == "v1")
+                opt.ckptFormat = ckpt::kVersionV1;
+            else if (v == "v2")
+                opt.ckptFormat = ckpt::kVersionV2;
+            else
+                fatal("--ckpt-format must be v1 or v2");
+        }
         else if (a == "--sample-every")
             opt.obs.sampleEvery = std::stoull(value());
         else if (a == "--sample-out")
@@ -291,7 +304,10 @@ main(int argc, char **argv)
     System sys(cfg, std::move(gens));
     try {
         if (!opt.restoreCkpt.empty()) {
-            const ckpt::Checkpoint c = ckpt::readFile(opt.restoreCkpt);
+            // Mapped read: v2 payload arrays restore by memcpy straight
+            // out of the page cache (v1 streams decode from it too).
+            const ckpt::CheckpointView c =
+                ckpt::readFileMapped(opt.restoreCkpt);
             if (c.header.stateHash != state_hash)
                 throw ckpt::CkptError(
                     "ckpt: configuration/stream mismatch (the "
@@ -302,7 +318,8 @@ main(int argc, char **argv)
                 throw ckpt::CkptError(
                     "ckpt: policy mismatch (the checkpoint was taken "
                     "under a different partitioning policy)");
-            ckpt::Deserializer d(c.payload);
+            ckpt::Deserializer d(c.payload, c.payloadSize,
+                                 c.header.version);
             sys.restore(d);
             if (!d.atEnd())
                 throw ckpt::CkptError(
@@ -322,7 +339,8 @@ main(int argc, char **argv)
                 h.instr = opt.instr;
                 h.numCores = cfg.numCores;
                 h.archId = ckpt::archIdOf(cfg.arch);
-                ckpt::writeFile(opt.saveCkpt, ckpt::capture(sys, h));
+                ckpt::writeFile(opt.saveCkpt,
+                                ckpt::capture(sys, h, opt.ckptFormat));
                 std::printf("saved %s (%llu warm-up accesses/core)\n",
                             opt.saveCkpt.c_str(),
                             static_cast<unsigned long long>(warm));

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Profile the pinned fig12 end-to-end scenario with gprofng (binutils;
+# `perf` is not assumed). Builds the Release tree if needed, records
+# N repetitions of the e2e run, and prints the hottest functions.
+#
+# Usage: tools/profile.sh [REPS] [BUILD_DIR]
+#   REPS      e2e repetitions to record (default 60; more reps, more
+#             samples — each rep is ~120 ms of simulation)
+#   BUILD_DIR Release build directory (default build-rel)
+#
+# Output: gprofng experiment under ./prof-e2e.er (overwritten) and a
+# function-level CPU-time table on stdout. Drill down with e.g.
+#   gprofng display text -calltree prof-e2e.er
+#   gprofng display text -source dapsim::Channel::kick prof-e2e.er
+
+set -eu
+
+REPS="${1:-60}"
+BUILD="${2:-build-rel}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$ROOT/$BUILD/bench/kernel_events"
+EXP="$ROOT/prof-e2e.er"
+
+command -v gprofng >/dev/null 2>&1 || {
+    echo "profile.sh: gprofng not found (install binutils)" >&2
+    exit 1
+}
+
+if [ ! -x "$BIN" ]; then
+    echo "profile.sh: building $BUILD (Release) ..." >&2
+    cmake -B "$ROOT/$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$ROOT/$BUILD" --target kernel_events -j "$(nproc)"
+fi
+
+rm -rf "$EXP"
+echo "profile.sh: recording $REPS e2e reps ..." >&2
+gprofng collect app -o "$EXP" \
+    "$BIN" --e2e-only --e2e-reps "$REPS" --out /dev/null >/dev/null
+
+gprofng display text -functions "$EXP"
